@@ -1,0 +1,151 @@
+//! A gprof-style call-graph profiler over running events.
+//!
+//! Attributes CPU samples to callstack frames: *exclusive* time to the
+//! innermost frame, *inclusive* time to every frame on the stack. Like
+//! its 1982 ancestor, it sees only where the CPU went — waiting threads
+//! are invisible, which is precisely its limitation on cost-propagation
+//! problems (drivers run little but block a lot).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use tracelens_model::{Dataset, EventKind, Symbol, TimeNs};
+
+/// Per-signature profile numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// CPU time with this frame innermost.
+    pub exclusive: TimeNs,
+    /// CPU time with this frame anywhere on the stack.
+    pub inclusive: TimeNs,
+    /// Number of samples with this frame innermost.
+    pub samples: u64,
+}
+
+/// A flat + call-graph CPU profile over a data set.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraphProfile {
+    entries: HashMap<Symbol, ProfileEntry>,
+    total_cpu: TimeNs,
+}
+
+impl CallGraphProfile {
+    /// Profiles all running events in the data set.
+    pub fn build(dataset: &Dataset) -> CallGraphProfile {
+        let mut profile = CallGraphProfile::default();
+        for stream in &dataset.streams {
+            for e in stream.events() {
+                if e.kind != EventKind::Running {
+                    continue;
+                }
+                profile.total_cpu += e.cost;
+                let frames = dataset.stacks.frames(e.stack);
+                for (i, &f) in frames.iter().enumerate() {
+                    let entry = profile.entries.entry(f).or_default();
+                    entry.inclusive += e.cost;
+                    if i + 1 == frames.len() {
+                        entry.exclusive += e.cost;
+                        entry.samples += 1;
+                    }
+                }
+            }
+        }
+        profile
+    }
+
+    /// Total CPU time profiled.
+    pub fn total_cpu(&self) -> TimeNs {
+        self.total_cpu
+    }
+
+    /// The profile entry for a frame symbol.
+    pub fn entry(&self, sym: Symbol) -> Option<&ProfileEntry> {
+        self.entries.get(&sym)
+    }
+
+    /// Entries sorted by exclusive time, highest first.
+    pub fn flat(&self) -> Vec<(Symbol, ProfileEntry)> {
+        let mut rows: Vec<(Symbol, ProfileEntry)> =
+            self.entries.iter().map(|(&s, &e)| (s, e)).collect();
+        rows.sort_by(|a, b| b.1.exclusive.cmp(&a.1.exclusive).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// Renders a gprof-like flat profile of the top `n` rows.
+    pub fn render(&self, dataset: &Dataset, n: usize) -> String {
+        let mut out = String::from("  %cpu        excl        incl  function\n");
+        for (sym, e) in self.flat().into_iter().take(n) {
+            let name = dataset.stacks.symbols().resolve(sym).unwrap_or("?");
+            let pct = 100.0 * e.exclusive.ratio(self.total_cpu);
+            let _ = writeln!(
+                out,
+                "{:>6.2} {:>11} {:>11}  {}",
+                pct,
+                e.exclusive.to_string(),
+                e.inclusive.to_string(),
+                name
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::{ThreadId, TraceStreamBuilder};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let outer = ds.stacks.intern_symbols(&["app!Main"]);
+        let inner = ds.stacks.intern_symbols(&["app!Main", "fs.sys!Read"]);
+        let mut b = TraceStreamBuilder::new(0);
+        b.push_running(ThreadId(1), TimeNs(0), TimeNs(10), outer);
+        b.push_running(ThreadId(1), TimeNs(10), TimeNs(30), inner);
+        // A wait event must be ignored by the profiler.
+        b.push_wait(ThreadId(1), TimeNs(40), TimeNs(100), outer);
+        ds.streams.push(b.finish().unwrap());
+        ds
+    }
+
+    #[test]
+    fn exclusive_and_inclusive_attribution() {
+        let ds = dataset();
+        let p = CallGraphProfile::build(&ds);
+        assert_eq!(p.total_cpu(), TimeNs(40));
+        let main = ds.stacks.symbols().lookup("app!Main").unwrap();
+        let read = ds.stacks.symbols().lookup("fs.sys!Read").unwrap();
+        let em = p.entry(main).unwrap();
+        assert_eq!(em.exclusive, TimeNs(10));
+        assert_eq!(em.inclusive, TimeNs(40));
+        let er = p.entry(read).unwrap();
+        assert_eq!(er.exclusive, TimeNs(30));
+        assert_eq!(er.inclusive, TimeNs(30));
+        assert_eq!(er.samples, 1);
+    }
+
+    #[test]
+    fn flat_is_sorted_by_exclusive() {
+        let ds = dataset();
+        let p = CallGraphProfile::build(&ds);
+        let flat = p.flat();
+        assert_eq!(flat.len(), 2);
+        assert!(flat[0].1.exclusive >= flat[1].1.exclusive);
+    }
+
+    #[test]
+    fn render_contains_header_and_rows() {
+        let ds = dataset();
+        let p = CallGraphProfile::build(&ds);
+        let text = p.render(&ds, 10);
+        assert!(text.contains("%cpu"));
+        assert!(text.contains("fs.sys!Read"));
+    }
+
+    #[test]
+    fn profiler_is_blind_to_waiting() {
+        // The 100ns wait must not appear anywhere in the profile.
+        let ds = dataset();
+        let p = CallGraphProfile::build(&ds);
+        assert_eq!(p.total_cpu(), TimeNs(40), "wait time excluded");
+    }
+}

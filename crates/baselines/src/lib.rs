@@ -1,0 +1,31 @@
+//! # tracelens-baselines
+//!
+//! The single-aspect baseline analyzers the paper contrasts against
+//! (§1, §6): a gprof-style **call-graph profiler** (CPU attribution
+//! only) and a **lock-contention analyzer** in the spirit of Tallent et
+//! al. (per-lock wait attribution only). Each covers one aspect of
+//! cross-component interaction; neither connects multi-lock,
+//! multi-dependency propagation chains — which is exactly what the
+//! `abl_baselines` experiment demonstrates.
+//!
+//! ```
+//! use tracelens_baselines::{CallGraphProfile, LockContentionReport};
+//! use tracelens_sim::{DatasetBuilder, ScenarioMix};
+//!
+//! let ds = DatasetBuilder::new(3).traces(5).mix(ScenarioMix::Selected).build();
+//! let prof = CallGraphProfile::build(&ds);
+//! assert!(prof.total_cpu().as_nanos() > 0);
+//! let locks = LockContentionReport::build(&ds);
+//! assert!(locks.total_wait().as_nanos() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod callgraph;
+mod lockcontention;
+mod stackmine;
+
+pub use callgraph::{CallGraphProfile, ProfileEntry};
+pub use lockcontention::{LockContentionReport, LockSite};
+pub use stackmine::{CostlyStackReport, StackCost};

@@ -1,0 +1,165 @@
+//! A single-lock contention analyzer (after Tallent et al., PPoPP'10).
+//!
+//! Attributes each wait event's duration to its blocking site — the
+//! innermost callstack frame of the wait — and aggregates per site. It
+//! isolates the effect of each lock individually but, unlike causality
+//! analysis, cannot connect *why* the holder was slow (the chain of
+//! other locks and hardware behind it).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use tracelens_model::{Dataset, EventKind, Symbol, TimeNs};
+use tracelens_waitgraph::StreamIndex;
+
+/// Aggregated contention numbers for one blocking site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockSite {
+    /// Total time threads spent blocked at this site.
+    pub total_wait: TimeNs,
+    /// Number of blocking incidents.
+    pub incidents: u64,
+    /// Longest single incident.
+    pub max_wait: TimeNs,
+}
+
+impl LockSite {
+    /// Average wait per incident.
+    pub fn avg_wait(&self) -> TimeNs {
+        if self.incidents == 0 {
+            TimeNs::ZERO
+        } else {
+            self.total_wait / self.incidents
+        }
+    }
+}
+
+/// Per-site lock-contention report over a data set.
+///
+/// Wait durations are restored by pairing each wait with its unwait via
+/// [`StreamIndex`] — the same pairing the Wait Graph uses, but *without*
+/// following the chain any further.
+#[derive(Debug, Clone, Default)]
+pub struct LockContentionReport {
+    sites: HashMap<Symbol, LockSite>,
+    total_wait: TimeNs,
+}
+
+impl LockContentionReport {
+    /// Analyzes all wait events in the data set.
+    pub fn build(dataset: &Dataset) -> LockContentionReport {
+        let mut report = LockContentionReport::default();
+        for stream in &dataset.streams {
+            let index = StreamIndex::new(stream);
+            for (i, e) in stream.events().iter().enumerate() {
+                if e.kind != EventKind::Wait {
+                    continue;
+                }
+                let end = index.effective_end(tracelens_model::EventId(i as u32));
+                let dur = e.t.saturating_span_to(end);
+                let Some(&site) = dataset.stacks.frames(e.stack).last() else {
+                    continue;
+                };
+                let entry = report.sites.entry(site).or_default();
+                entry.total_wait += dur;
+                entry.incidents += 1;
+                entry.max_wait = entry.max_wait.max(dur);
+                report.total_wait += dur;
+            }
+        }
+        report
+    }
+
+    /// Total blocked time across all sites.
+    pub fn total_wait(&self) -> TimeNs {
+        self.total_wait
+    }
+
+    /// The stats for one site.
+    pub fn site(&self, sym: Symbol) -> Option<&LockSite> {
+        self.sites.get(&sym)
+    }
+
+    /// Sites sorted by total wait, highest first.
+    pub fn ranked(&self) -> Vec<(Symbol, LockSite)> {
+        let mut rows: Vec<(Symbol, LockSite)> =
+            self.sites.iter().map(|(&s, &e)| (s, e)).collect();
+        rows.sort_by(|a, b| b.1.total_wait.cmp(&a.1.total_wait).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// Renders the top `n` contended sites.
+    pub fn render(&self, dataset: &Dataset, n: usize) -> String {
+        let mut out = String::from("  %wait       total   incidents         max  site\n");
+        for (sym, s) in self.ranked().into_iter().take(n) {
+            let name = dataset.stacks.symbols().resolve(sym).unwrap_or("?");
+            let pct = 100.0 * s.total_wait.ratio(self.total_wait);
+            let _ = writeln!(
+                out,
+                "{:>6.2} {:>11} {:>11} {:>11}  {}",
+                pct,
+                s.total_wait.to_string(),
+                s.incidents,
+                s.max_wait.to_string(),
+                name
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::{ThreadId, TraceStreamBuilder};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let site_a = ds
+            .stacks
+            .intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
+        let site_b = ds
+            .stacks
+            .intern_symbols(&["app!W", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
+        let mut b = TraceStreamBuilder::new(0);
+        b.push_wait(ThreadId(1), TimeNs(0), TimeNs::ZERO, site_a);
+        b.push_unwait(ThreadId(9), ThreadId(1), TimeNs(40), site_a);
+        b.push_wait(ThreadId(2), TimeNs(5), TimeNs::ZERO, site_b);
+        b.push_unwait(ThreadId(9), ThreadId(2), TimeNs(15), site_b);
+        b.push_wait(ThreadId(3), TimeNs(20), TimeNs::ZERO, site_b);
+        b.push_unwait(ThreadId(9), ThreadId(3), TimeNs(80), site_b);
+        ds.streams.push(b.finish().unwrap());
+        ds
+    }
+
+    #[test]
+    fn per_site_aggregation() {
+        let ds = dataset();
+        let r = LockContentionReport::build(&ds);
+        assert_eq!(r.total_wait(), TimeNs(110));
+        let acq = ds.stacks.symbols().lookup("kernel!AcquireLock").unwrap();
+        let s = r.site(acq).unwrap();
+        assert_eq!(s.incidents, 3);
+        assert_eq!(s.total_wait, TimeNs(110));
+        assert_eq!(s.max_wait, TimeNs(60));
+        assert_eq!(s.avg_wait(), TimeNs(36));
+    }
+
+    #[test]
+    fn ranked_and_render() {
+        let ds = dataset();
+        let r = LockContentionReport::build(&ds);
+        let rows = r.ranked();
+        assert!(!rows.is_empty());
+        let text = r.render(&ds, 5);
+        assert!(text.contains("%wait"));
+        assert!(text.contains("kernel!AcquireLock"));
+    }
+
+    #[test]
+    fn empty_dataset_is_empty_report() {
+        let ds = Dataset::new();
+        let r = LockContentionReport::build(&ds);
+        assert_eq!(r.total_wait(), TimeNs::ZERO);
+        assert!(r.ranked().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Criterion benches over the analysis algorithms: simulator throughput,
+//! Wait-Graph construction, impact analysis, AWG aggregation, and
+//! contrast mining — the costs that determine how far the pipeline
+//! scales toward the paper's 19,500-trace corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tracelens::causality::{split_classes, Aggregator};
+use tracelens::prelude::*;
+
+fn dataset(traces: usize) -> Dataset {
+    DatasetBuilder::new(77)
+        .traces(traces)
+        .mix(ScenarioMix::Selected)
+        .build()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    for traces in [10usize, 40] {
+        let events = dataset(traces).total_events() as u64;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::new("generate", traces), &traces, |b, &t| {
+            b.iter(|| dataset(t).total_events())
+        });
+    }
+    g.finish();
+}
+
+fn bench_waitgraph(c: &mut Criterion) {
+    let ds = dataset(40);
+    let mut g = c.benchmark_group("waitgraph");
+    g.bench_function("index+build_all_instances", |b| {
+        b.iter(|| {
+            let mut nodes = 0usize;
+            for stream in &ds.streams {
+                let index = StreamIndex::new(stream);
+                for i in ds.instances.iter().filter(|i| i.trace == stream.id()) {
+                    nodes += WaitGraph::build(stream, &index, i).node_count();
+                }
+            }
+            nodes
+        })
+    });
+    g.finish();
+}
+
+fn bench_impact(c: &mut Criterion) {
+    let ds = dataset(40);
+    let analyzer = ImpactAnalyzer::new(ComponentFilter::suffix(".sys"));
+    c.bench_function("impact/analyze_40_traces", |b| {
+        b.iter(|| analyzer.analyze(&ds).d_wait)
+    });
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let ds = dataset(60);
+    let name = ScenarioName::new("BrowserTabCreate");
+    let split = split_classes(&ds, &name).expect("scenario defined");
+    // Pre-build the slow-class graphs once; measure aggregation alone.
+    let mut graphs = Vec::new();
+    for instance in &split.slow {
+        let stream = ds.stream_of(instance).unwrap();
+        let index = StreamIndex::new(stream);
+        graphs.push(WaitGraph::build(stream, &index, instance));
+    }
+    let filter = ComponentFilter::suffix(".sys");
+    c.bench_function("causality/aggregate_slow_class", |b| {
+        b.iter(|| {
+            let mut agg = Aggregator::new(&ds.stacks, &filter);
+            for g in &graphs {
+                agg.add_graph(g);
+            }
+            agg.finish().node_count()
+        })
+    });
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let ds = dataset(60);
+    let name = ScenarioName::new("BrowserTabCreate");
+    let analysis = CausalityAnalysis::default();
+    c.bench_function("causality/full_pipeline_one_scenario", |b| {
+        b.iter(|| analysis.analyze(&ds, &name).map(|r| r.patterns.len()))
+    });
+    // Segment bound sweep: mining cost vs k.
+    let mut g = c.benchmark_group("causality/segment_bound");
+    for k in [2usize, 5, 7] {
+        let a = CausalityAnalysis::new(tracelens::causality::CausalityConfig {
+            segment_bound: k,
+            ..Default::default()
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| a.analyze(&ds, &name).map(|r| r.stats.slow_metas))
+        });
+    }
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = dataset(40);
+    c.bench_function("baselines/callgraph_profile", |b| {
+        b.iter(|| CallGraphProfile::build(&ds).total_cpu())
+    });
+    c.bench_function("baselines/lock_contention", |b| {
+        b.iter(|| LockContentionReport::build(&ds).total_wait())
+    });
+}
+
+fn bench_textio(c: &mut Criterion) {
+    let ds = dataset(20);
+    let mut buf = Vec::new();
+    ds.write_text(&mut buf).expect("serialize");
+    let events = ds.total_events() as u64;
+    let mut g = c.benchmark_group("textio");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            ds.write_text(&mut out).unwrap();
+            out.len()
+        })
+    });
+    g.bench_function("read", |b| {
+        b.iter(|| {
+            Dataset::read_text(std::io::BufReader::new(buf.as_slice()))
+                .unwrap()
+                .total_events()
+        })
+    });
+    g.finish();
+}
+
+fn bench_script(c: &mut Criterion) {
+    let text = std::fs::read_to_string(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../assets/figure1.tsim"),
+    )
+    .expect("asset exists");
+    c.bench_function("script/run_figure1", |b| {
+        b.iter(|| tracelens::sim::script::run_script(&text).unwrap().total_events())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_waitgraph,
+    bench_impact,
+    bench_aggregate,
+    bench_mining,
+    bench_baselines,
+    bench_textio,
+    bench_script
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! A3 — Baseline comparison on the Figure-1 workload.
+//!
+//! Runs the two single-aspect baselines (§6) and the causality analysis
+//! on the same BrowserTabCreate data set and shows what each can and
+//! cannot see of the fv → fs → se propagation chain:
+//!
+//! * the **call-graph profiler** attributes CPU (it finds `se.sys`
+//!   decryption but none of the blocked time),
+//! * the **lock-contention analyzer** finds the contended sites but each
+//!   in isolation — it cannot say *why* the File Table holder was slow,
+//! * the **causality analysis** emits one pattern naming the whole
+//!   chain.
+
+use tracelens::prelude::*;
+use tracelens_bench::cli_args;
+
+fn main() {
+    let (traces, seed) = cli_args();
+    let traces = traces.min(200);
+    eprintln!("generating {traces} traces (seed {seed})...");
+    let ds = DatasetBuilder::new(seed)
+        .traces(traces)
+        .mix(ScenarioMix::Only(vec!["BrowserTabCreate".into()]))
+        .build();
+
+    println!("== A3: what each analysis sees of the Figure-1 chain ==\n");
+
+    println!("--- gprof-style call-graph profile (top 8 by CPU) ---");
+    let prof = CallGraphProfile::build(&ds);
+    println!("{}", prof.render(&ds, 8));
+    println!("note: blocked time is invisible; drivers barely register on CPU.\n");
+
+    println!("--- single-lock contention analysis (top 8 sites) ---");
+    let locks = LockContentionReport::build(&ds);
+    println!("{}", locks.render(&ds, 8));
+    println!("note: sites are ranked, but each in isolation — the analysis");
+    println!("cannot connect the File Table wait to the MDU holder's disk read.\n");
+
+    println!("--- StackMine-style costly callstacks (top 5) ---");
+    let stacks_report = CostlyStackReport::build(&ds);
+    println!("{}", stacks_report.render(&ds, 5));
+    println!("note: within-thread view — it finds WHERE threads block, but");
+    println!("the holder's identity and its own chain remain invisible.\n");
+
+    println!("--- causality analysis (top 3 contrast patterns) ---");
+    let report = CausalityAnalysis::default()
+        .analyze(&ds, &ScenarioName::new("BrowserTabCreate"))
+        .expect("causality analysis succeeds");
+    for (i, p) in report.top(3).iter().enumerate() {
+        println!("#{} avg={} (N={}):", i + 1, p.avg_cost(), p.n);
+        println!("{}\n", p.tuple.render(&ds.stacks));
+    }
+    println!("the top pattern names the wait sites, the unwait (holder)");
+    println!("sites, and the root running costs in one actionable tuple —");
+    println!("the cross-lock, cross-dependency view the baselines lack.");
+}

@@ -1,0 +1,198 @@
+//! F1 — Figure 1: the BrowserTabCreate motivating case.
+//!
+//! Reconstructs the paper's six-thread cost-propagation chain — two lock
+//! contention regions (File Table in `fv.sys`, MDUs in `fs.sys`)
+//! connected by hierarchical dependencies down to an encrypted disk read
+//! — and prints the thread timeline, the UI thread's Wait Graph, and the
+//! propagation chain as the analyses see it.
+
+use tracelens::model::{EventKind, ProcessId, ScenarioInstance, StackTable, TimeNs};
+use tracelens::prelude::*;
+use tracelens::sim::env::{sig, Env};
+use tracelens::sim::{HwRequest, Machine, ProgramBuilder};
+
+fn ms(v: u64) -> TimeNs {
+    TimeNs::from_millis(v)
+}
+
+fn main() {
+    let mut machine = Machine::new(0);
+    let env = Env::install(&mut machine);
+    let mut stacks = StackTable::new();
+
+    // TC,W0 — Configuration Manager worker: holds the MDU lock behind an
+    // encrypted read (disk service + se.sys decryption on TS,W0).
+    let tc = machine.add_thread(
+        ProcessId(3),
+        ms(0),
+        ProgramBuilder::new("cm!Worker")
+            .call(sig::K_OPEN_FILE)
+            .call(sig::FS_ACQUIRE_MDU)
+            .acquire(env.mdu)
+            .request(HwRequest {
+                device: env.disk,
+                service: ms(500),
+                post_frames: vec![sig::SE_READ_DECRYPT.to_owned()],
+                post_compute: ms(80),
+            })
+            .release(env.mdu)
+            .ret()
+            .ret()
+            .build()
+            .expect("cm worker"),
+    );
+    // TA,W0 — AntiVirus worker: queues on the MDU lock.
+    let ta = machine.add_thread(
+        ProcessId(2),
+        ms(1),
+        ProgramBuilder::new("av!Worker")
+            .call(sig::K_OPEN_FILE)
+            .call(sig::FS_ACQUIRE_MDU)
+            .acquire(env.mdu)
+            .compute(ms(2))
+            .release(env.mdu)
+            .ret()
+            .ret()
+            .build()
+            .expect("av worker"),
+    );
+    // TB,W1 — browser worker: holds the File Table lock, queues on MDU.
+    let tb_w1 = machine.add_thread(
+        ProcessId(1),
+        ms(2),
+        ProgramBuilder::new("browser!Worker")
+            .call(sig::K_CREATE_FILE)
+            .call(sig::FV_QUERY_FILE_TABLE)
+            .acquire(env.file_table)
+            .call(sig::FS_ACQUIRE_MDU)
+            .acquire(env.mdu)
+            .compute(ms(2))
+            .release(env.mdu)
+            .ret()
+            .release(env.file_table)
+            .ret()
+            .ret()
+            .build()
+            .expect("browser worker 1"),
+    );
+    // TB,W0 — browser worker: queues on the File Table lock.
+    let tb_w0 = machine.add_thread(
+        ProcessId(1),
+        ms(3),
+        ProgramBuilder::new("browser!Worker")
+            .call(sig::K_CREATE_FILE)
+            .call(sig::FV_QUERY_FILE_TABLE)
+            .acquire(env.file_table)
+            .compute(ms(2))
+            .release(env.file_table)
+            .ret()
+            .ret()
+            .build()
+            .expect("browser worker 0"),
+    );
+    // TB,UI — the browser UI thread reacting to "create a new tab".
+    let ui = machine.add_thread(
+        ProcessId(1),
+        ms(10),
+        ProgramBuilder::new("browser!TabCreate")
+            .compute(ms(20))
+            .call(sig::K_OPEN_FILE)
+            .call(sig::FV_QUERY_FILE_TABLE)
+            .acquire(env.file_table)
+            .compute(ms(2))
+            .release(env.file_table)
+            .ret()
+            .ret()
+            .compute(ms(40))
+            .build()
+            .expect("ui thread"),
+    );
+
+    let out = machine.run(&mut stacks).expect("simulation completes");
+
+    println!("== F1: Figure 1 — cost propagation in BrowserTabCreate ==\n");
+    println!("thread timeline (start → finish):");
+    for (label, tid) in [
+        ("TB,UI  browser UI", ui),
+        ("TB,W0  browser worker (FileTable queuer)", tb_w0),
+        ("TB,W1  browser worker (FileTable holder)", tb_w1),
+        ("TA,W0  antivirus worker (MDU queuer)", ta),
+        ("TC,W0  config-manager worker (MDU holder)", tc),
+    ] {
+        let (t0, t1) = out.span_of(tid).expect("thread simulated");
+        println!("  {label:<45} {t0:>10} → {t1}");
+    }
+    let (t0, t1) = out.span_of(ui).unwrap();
+    println!(
+        "\nthe user perceives a {} delay creating the tab (paper: >800 ms).\n",
+        t0.saturating_span_to(t1)
+    );
+
+    // Build the UI thread's Wait Graph and show the propagation chain.
+    let instance = ScenarioInstance {
+        trace: out.stream.id(),
+        scenario: ScenarioName::new("BrowserTabCreate"),
+        tid: ui,
+        t0,
+        t1,
+    };
+    let index = StreamIndex::new(&out.stream);
+    let graph = WaitGraph::build(&out.stream, &index, &instance);
+    println!("UI thread Wait Graph (depth-first; consecutive samples coalesced):");
+    let mut pending: Option<(usize, String, TimeNs, u32)> = None;
+    let flush = |p: &mut Option<(usize, String, TimeNs, u32)>| {
+        if let Some((depth, line, total, count)) = p.take() {
+            let times = if count > 1 {
+                format!(" x{count}")
+            } else {
+                String::new()
+            };
+            println!("  {}{} [{}{}]", "  ".repeat(depth), line, total, times);
+        }
+    };
+    for (depth, id) in graph.dfs() {
+        let n = graph.node(id);
+        let frame = stacks
+            .frames(n.stack)
+            .last()
+            .and_then(|&s| stacks.symbols().resolve(s))
+            .unwrap_or("?");
+        let line = format!(
+            "{} {} {}",
+            match n.kind {
+                tracelens::waitgraph::NodeKind::Running => "run ",
+                tracelens::waitgraph::NodeKind::Hardware => "hw  ",
+                _ => "wait",
+            },
+            n.tid,
+            frame
+        );
+        match &mut pending {
+            Some((d, l, total, count)) if *d == depth && *l == line => {
+                *total += n.duration;
+                *count += 1;
+            }
+            _ => {
+                flush(&mut pending);
+                pending = Some((depth, line, n.duration, 1));
+            }
+        }
+    }
+    flush(&mut pending);
+
+    // Totals: how much of the delay is the propagated disk+decrypt cost?
+    let hw: TimeNs = out
+        .stream
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::HardwareService)
+        .map(|e| e.cost)
+        .sum();
+    println!("\nhardware service total: {hw} — propagated through");
+    println!("(1) se.sys → fs.sys (service-call return)");
+    println!("(2,3) MDU lock handoffs: cm → av → browser worker");
+    println!("(4) fs.sys → fv.sys (call return)");
+    println!("(5,6) FileTable lock handoffs: worker → worker → UI");
+    println!("\nGraphviz of the Wait Graph:\n");
+    println!("{}", graph.to_dot(&stacks));
+}

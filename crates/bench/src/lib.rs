@@ -1,0 +1,118 @@
+//! # tracelens-bench
+//!
+//! Experiment harness: binaries that regenerate every table and figure of
+//! the paper's evaluation (see `DESIGN.md` §4 for the experiment index),
+//! plus Criterion benches over the analysis algorithms.
+//!
+//! Run an experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p tracelens-bench --bin exp_table2
+//! ```
+//!
+//! Every binary accepts two optional positional arguments:
+//! `<traces> <seed>` — the number of simulated trace streams and the
+//! workload seed — so results are reproducible and scalable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tracelens::prelude::*;
+
+/// Default number of simulated traces for the causality experiments
+/// (≈ 1/10 of the paper's instance counts for the selected scenarios).
+pub const DEFAULT_TRACES: usize = 600;
+
+/// Default workload seed.
+pub const DEFAULT_SEED: u64 = 2014;
+
+/// Parses the common `<traces> <seed>` CLI arguments.
+pub fn cli_args() -> (usize, u64) {
+    let mut args = std::env::args().skip(1);
+    let traces = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_TRACES);
+    let seed = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    (traces, seed)
+}
+
+/// Builds the selected-scenario data set used by Tables 1–4.
+///
+/// Uses a wider start window and fewer instances per trace than the
+/// full-population mix: the eight selected scenarios are driver-heavy,
+/// and packing them too densely entangles nearly every instance into a
+/// chain, starving the fast contrast classes.
+pub fn selected_dataset(traces: usize, seed: u64) -> Dataset {
+    DatasetBuilder::new(seed)
+        .traces(traces)
+        .mix(ScenarioMix::Selected)
+        .instances_per_trace(2, 4)
+        .start_window_ms(350)
+        .build()
+}
+
+/// Builds the full-population data set used by the §5.1 impact study.
+pub fn full_dataset(traces: usize, seed: u64) -> Dataset {
+    DatasetBuilder::new(seed)
+        .traces(traces)
+        .mix(ScenarioMix::Full)
+        .build()
+}
+
+/// The eight selected scenario names, in Table-1 order.
+pub fn selected_names() -> Vec<ScenarioName> {
+    ScenarioName::SELECTED
+        .iter()
+        .map(|&s| ScenarioName::new(s))
+        .collect()
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:<w$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a horizontal rule sized for `widths`.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.364), "36.4%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn selected_names_match_table1() {
+        let names = selected_names();
+        assert_eq!(names.len(), 8);
+        assert_eq!(names[0].as_str(), "AppAccessControl");
+    }
+
+    #[test]
+    fn datasets_build_small() {
+        let ds = selected_dataset(2, 1);
+        assert_eq!(ds.streams.len(), 2);
+        let full = full_dataset(2, 1);
+        assert_eq!(full.scenarios.len(), 13);
+    }
+}

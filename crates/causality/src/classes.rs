@@ -1,0 +1,97 @@
+//! Contrast-class classification (§4.2.1).
+
+use tracelens_model::{Dataset, ScenarioInstance, ScenarioName, Thresholds};
+
+/// The two contrast classes of one scenario's instances. Instances whose
+/// duration falls between the thresholds belong to neither class and are
+/// excluded from mining (the margin keeps the classes unambiguous).
+#[derive(Debug, Clone)]
+pub struct ClassSplit<'a> {
+    /// Instances faster than `T_fast`.
+    pub fast: Vec<&'a ScenarioInstance>,
+    /// Instances slower than `T_slow`.
+    pub slow: Vec<&'a ScenarioInstance>,
+    /// Instances in the margin (excluded).
+    pub margin: Vec<&'a ScenarioInstance>,
+    /// The thresholds used.
+    pub thresholds: Thresholds,
+}
+
+impl ClassSplit<'_> {
+    /// Total instances considered (fast + slow + margin).
+    pub fn total(&self) -> usize {
+        self.fast.len() + self.slow.len() + self.margin.len()
+    }
+}
+
+/// Splits `scenario`'s instances in `dataset` into contrast classes using
+/// the scenario's developer thresholds. Returns `None` if the scenario is
+/// not defined in the data set.
+pub fn split_classes<'a>(
+    dataset: &'a Dataset,
+    scenario: &ScenarioName,
+) -> Option<ClassSplit<'a>> {
+    let thresholds = dataset.scenario(scenario)?.thresholds;
+    let mut split = ClassSplit {
+        fast: Vec::new(),
+        slow: Vec::new(),
+        margin: Vec::new(),
+        thresholds,
+    };
+    for instance in dataset.instances_of(scenario) {
+        match thresholds.classify(instance.duration()) {
+            Some(true) => split.fast.push(instance),
+            Some(false) => split.slow.push(instance),
+            None => split.margin.push(instance),
+        }
+    }
+    Some(split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::{Scenario, ThreadId, TimeNs, TraceId};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.scenarios.push(Scenario::new(
+            ScenarioName::new("S"),
+            Thresholds::new(TimeNs(100), TimeNs(200)),
+        ));
+        for (tid, dur) in [(1u32, 50u64), (2, 150), (3, 300), (4, 40), (5, 400)] {
+            ds.instances.push(ScenarioInstance {
+                trace: TraceId(0),
+                scenario: ScenarioName::new("S"),
+                tid: ThreadId(tid),
+                t0: TimeNs(0),
+                t1: TimeNs(dur),
+            });
+        }
+        // An instance of another scenario: must be ignored.
+        ds.instances.push(ScenarioInstance {
+            trace: TraceId(0),
+            scenario: ScenarioName::new("Other"),
+            tid: ThreadId(9),
+            t0: TimeNs(0),
+            t1: TimeNs(999),
+        });
+        ds
+    }
+
+    #[test]
+    fn splits_into_three_buckets() {
+        let ds = dataset();
+        let split = split_classes(&ds, &ScenarioName::new("S")).unwrap();
+        assert_eq!(split.fast.len(), 2);
+        assert_eq!(split.slow.len(), 2);
+        assert_eq!(split.margin.len(), 1);
+        assert_eq!(split.total(), 5);
+    }
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        let ds = dataset();
+        assert!(split_classes(&ds, &ScenarioName::new("Nope")).is_none());
+    }
+}

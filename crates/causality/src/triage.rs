@@ -1,0 +1,133 @@
+//! Triage of discovered patterns: suppressing known by-design behaviors.
+//!
+//! §5.2.5 observes false positives "in some special circumstances": some
+//! drivers are *designed* to block (the Disk Protection driver halts all
+//! I/O when the machine is in motion), so their patterns are expected,
+//! not problems — "we need to incorporate such knowledge to filter out
+//! some known and exceptional cases". [`Triage`] carries that knowledge:
+//! a list of modules whose involvement marks a pattern as by-design.
+
+use crate::contrast::ContrastPattern;
+use crate::tuple::SignatureSetTuple;
+use tracelens_model::{Signature, StackTable};
+
+/// Knowledge base of by-design blocking behaviors.
+///
+/// ```
+/// use tracelens_causality::Triage;
+/// let triage = Triage::new().by_design_module("dp.sys");
+/// assert!(triage.is_known_module("dp.sys"));
+/// assert!(!triage.is_known_module("fs.sys"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Triage {
+    by_design: Vec<String>,
+}
+
+impl Triage {
+    /// An empty knowledge base (suppresses nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a module's blocking behavior as by-design (e.g. `dp.sys`,
+    /// whose whole purpose is to halt disk I/O).
+    pub fn by_design_module(mut self, module: &str) -> Self {
+        self.by_design.push(module.to_owned());
+        self
+    }
+
+    /// Whether `module` is registered as by-design.
+    pub fn is_known_module(&self, module: &str) -> bool {
+        self.by_design.iter().any(|m| m == module)
+    }
+
+    /// Whether a tuple involves any by-design module.
+    pub fn is_by_design(&self, tuple: &SignatureSetTuple, stacks: &StackTable) -> bool {
+        tuple.all_symbols().into_iter().any(|sym| {
+            stacks
+                .symbols()
+                .resolve(sym)
+                .and_then(Signature::module_of)
+                .is_some_and(|m| self.is_known_module(m))
+        })
+    }
+
+    /// Splits ranked patterns into `(actionable, by_design)`, both in
+    /// their original rank order.
+    pub fn split<'a>(
+        &self,
+        patterns: &'a [ContrastPattern],
+        stacks: &StackTable,
+    ) -> (Vec<&'a ContrastPattern>, Vec<&'a ContrastPattern>) {
+        patterns
+            .iter()
+            .partition(|p| !self.is_by_design(&p.tuple, stacks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::CausalityAnalysis;
+    use tracelens_model::ScenarioName;
+    use tracelens_sim::{DatasetBuilder, ScenarioMix};
+
+    #[test]
+    fn empty_triage_suppresses_nothing() {
+        let ds = DatasetBuilder::new(12)
+            .traces(40)
+            .mix(ScenarioMix::Only(vec!["MenuDisplay".into()]))
+            .build();
+        let report = CausalityAnalysis::default()
+            .analyze(&ds, &ScenarioName::new("MenuDisplay"))
+            .unwrap();
+        let (actionable, by_design) = Triage::new().split(&report.patterns, &ds.stacks);
+        assert_eq!(actionable.len(), report.patterns.len());
+        assert!(by_design.is_empty());
+    }
+
+    #[test]
+    fn disk_protection_patterns_are_triaged_out() {
+        // MenuDisplay injects dp.sys halts; marking dp.sys as by-design
+        // must move exactly those patterns to the suppressed bucket.
+        let ds = DatasetBuilder::new(12)
+            .traces(60)
+            .mix(ScenarioMix::Only(vec!["MenuDisplay".into()]))
+            .build();
+        let report = CausalityAnalysis::default()
+            .analyze(&ds, &ScenarioName::new("MenuDisplay"))
+            .unwrap();
+        let triage = Triage::new().by_design_module("dp.sys");
+        let (actionable, by_design) = triage.split(&report.patterns, &ds.stacks);
+        assert_eq!(
+            actionable.len() + by_design.len(),
+            report.patterns.len(),
+            "partition is exact"
+        );
+        assert!(
+            !by_design.is_empty(),
+            "dp.sys patterns exist in MenuDisplay and must be caught"
+        );
+        for p in &actionable {
+            assert!(!triage.is_by_design(&p.tuple, &ds.stacks));
+        }
+        for p in &by_design {
+            assert!(triage.is_by_design(&p.tuple, &ds.stacks));
+        }
+        // Rank order is preserved within each bucket.
+        for w in actionable.windows(2) {
+            assert!(w[0].avg_cost() >= w[1].avg_cost());
+        }
+    }
+
+    #[test]
+    fn module_registry() {
+        let t = Triage::new()
+            .by_design_module("dp.sys")
+            .by_design_module("bk.sys");
+        assert!(t.is_known_module("dp.sys"));
+        assert!(t.is_known_module("bk.sys"));
+        assert!(!t.is_known_module("se.sys"));
+    }
+}

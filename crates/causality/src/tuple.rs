@@ -1,0 +1,138 @@
+//! The Signature Set Tuple pattern representation (Definition 5).
+
+use crate::awg::{AggregatedWaitGraph, AwgId, AwgKey};
+use std::collections::BTreeSet;
+use tracelens_model::{StackTable, Symbol};
+
+/// A Signature Set Tuple `⟨⋃v.w, ⋃v.u, ⋃v.r⟩`: wait signatures, unwait
+/// signatures, and running signatures (hardware dummy signatures join the
+/// running set) accumulated over a path segment of an Aggregated Wait
+/// Graph.
+///
+/// Sets deliberately forget ordering, so the two possible interleavings
+/// of "two drivers contend a resource held by a third" collapse into one
+/// pattern (§4.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignatureSetTuple {
+    /// Wait signatures (functions whose callers got suspended).
+    pub wait: BTreeSet<Symbol>,
+    /// Unwait signatures (functions that signalled suspended threads).
+    pub unwait: BTreeSet<Symbol>,
+    /// Running signatures, plus hardware dummy signatures.
+    pub running: BTreeSet<Symbol>,
+}
+
+impl SignatureSetTuple {
+    /// Builds the tuple of a path segment given as AWG node ids
+    /// (root-most first).
+    pub fn of_segment(awg: &AggregatedWaitGraph, segment: &[AwgId]) -> SignatureSetTuple {
+        let mut t = SignatureSetTuple::default();
+        for &id in segment {
+            match awg.node(id).key {
+                AwgKey::Waiting { w, u } => {
+                    t.wait.insert(w);
+                    if let Some(u) = u {
+                        t.unwait.insert(u);
+                    }
+                }
+                AwgKey::Running { r } => {
+                    t.running.insert(r);
+                }
+                AwgKey::Hardware { h } => {
+                    t.running.insert(h);
+                }
+            }
+        }
+        t
+    }
+
+    /// Whether `self` contains `meta` (component-wise subset) — the test
+    /// used when lifting contrast meta-patterns to full-path contrast
+    /// patterns (§4.2.3).
+    pub fn contains(&self, meta: &SignatureSetTuple) -> bool {
+        meta.wait.is_subset(&self.wait)
+            && meta.unwait.is_subset(&self.unwait)
+            && meta.running.is_subset(&self.running)
+    }
+
+    /// Whether all three sets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.wait.is_empty() && self.unwait.is_empty() && self.running.is_empty()
+    }
+
+    /// All symbols across the three sets (deduplicated).
+    pub fn all_symbols(&self) -> BTreeSet<Symbol> {
+        self.wait
+            .iter()
+            .chain(self.unwait.iter())
+            .chain(self.running.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Renders the tuple in the paper's three-line notation.
+    pub fn render(&self, stacks: &StackTable) -> String {
+        let line = |set: &BTreeSet<Symbol>| {
+            let mut names: Vec<&str> = set
+                .iter()
+                .filter_map(|&s| stacks.symbols().resolve(s))
+                .collect();
+            names.sort_unstable();
+            names.join(", ")
+        };
+        format!(
+            "wait    : {{{}}}\nunwait  : {{{}}}\nrunning : {{{}}}",
+            line(&self.wait),
+            line(&self.unwait),
+            line(&self.running)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(w: &[u32], u: &[u32], r: &[u32]) -> SignatureSetTuple {
+        SignatureSetTuple {
+            wait: w.iter().map(|&x| Symbol(x)).collect(),
+            unwait: u.iter().map(|&x| Symbol(x)).collect(),
+            running: r.iter().map(|&x| Symbol(x)).collect(),
+        }
+    }
+
+    #[test]
+    fn containment_is_componentwise_subset() {
+        let big = tuple(&[1, 2], &[1, 2], &[3, 4]);
+        assert!(big.contains(&tuple(&[1], &[], &[4])));
+        assert!(big.contains(&big.clone()));
+        assert!(!big.contains(&tuple(&[9], &[], &[])));
+        assert!(!big.contains(&tuple(&[], &[], &[5])));
+        assert!(big.contains(&SignatureSetTuple::default()));
+    }
+
+    #[test]
+    fn empty_and_symbols() {
+        assert!(SignatureSetTuple::default().is_empty());
+        let t = tuple(&[1], &[2], &[1, 3]);
+        assert!(!t.is_empty());
+        let all = t.all_symbols();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn render_shows_three_lines() {
+        let mut stacks = StackTable::new();
+        let a = stacks.intern_frame("fv.sys!QueryFileTable");
+        let b = stacks.intern_frame("se.sys!ReadDecrypt");
+        let t = SignatureSetTuple {
+            wait: [a].into_iter().collect(),
+            unwait: [a].into_iter().collect(),
+            running: [b].into_iter().collect(),
+        };
+        let text = t.render(&stacks);
+        assert!(text.contains("wait    : {fv.sys!QueryFileTable}"));
+        assert!(text.contains("running : {se.sys!ReadDecrypt}"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the causality machinery: tuple algebra,
+//! segment enumeration bounds, and mining postconditions on randomized
+//! workloads.
+
+use proptest::prelude::*;
+use tracelens_causality::{
+    enumerate_meta_patterns, split_classes, CausalityAnalysis, CausalityConfig,
+    SignatureSetTuple,
+};
+use tracelens_model::{ScenarioName, Symbol, TimeNs};
+use tracelens_sim::{DatasetBuilder, ScenarioMix};
+
+fn tuple_strategy() -> impl Strategy<Value = SignatureSetTuple> {
+    (
+        prop::collection::btree_set(0u32..12, 0..4),
+        prop::collection::btree_set(0u32..12, 0..4),
+        prop::collection::btree_set(0u32..12, 0..4),
+    )
+        .prop_map(|(w, u, r)| SignatureSetTuple {
+            wait: w.into_iter().map(Symbol).collect(),
+            unwait: u.into_iter().map(Symbol).collect(),
+            running: r.into_iter().map(Symbol).collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn containment_is_a_partial_order(
+        a in tuple_strategy(),
+        b in tuple_strategy(),
+        c in tuple_strategy(),
+    ) {
+        // Reflexive.
+        prop_assert!(a.contains(&a));
+        // Transitive.
+        if a.contains(&b) && b.contains(&c) {
+            prop_assert!(a.contains(&c));
+        }
+        // Antisymmetric (up to equality).
+        if a.contains(&b) && b.contains(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // Empty tuple is the bottom element.
+        prop_assert!(a.contains(&SignatureSetTuple::default()));
+    }
+
+    #[test]
+    fn all_symbols_unions_the_sets(a in tuple_strategy()) {
+        let all = a.all_symbols();
+        for s in a.wait.iter().chain(&a.unwait).chain(&a.running) {
+            prop_assert!(all.contains(s));
+        }
+        prop_assert!(all.len() <= a.wait.len() + a.unwait.len() + a.running.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mining_postconditions_on_random_workloads(seed in 0u64..1000) {
+        let ds = DatasetBuilder::new(seed)
+            .traces(25)
+            .mix(ScenarioMix::Only(vec!["BrowserTabCreate".into()]))
+            .build();
+        let name = ScenarioName::new("BrowserTabCreate");
+        let Ok(report) = CausalityAnalysis::default().analyze(&ds, &name) else {
+            return Ok(()); // tiny sample produced an empty class — fine
+        };
+        // Class sizes agree with an independent split.
+        let split = split_classes(&ds, &name).unwrap();
+        prop_assert_eq!(report.fast_instances, split.fast.len());
+        prop_assert_eq!(report.slow_instances, split.slow.len());
+        // Ranking is sorted; counters are positive; tuples nonempty.
+        for w in report.patterns.windows(2) {
+            prop_assert!(w[0].avg_cost() >= w[1].avg_cost());
+        }
+        for p in &report.patterns {
+            prop_assert!(p.n > 0);
+            prop_assert!(p.c > TimeNs::ZERO);
+            prop_assert!(!p.tuple.is_empty());
+        }
+        // Coverage identities.
+        prop_assert!(report.itc() <= report.ttc() + 1e-12);
+        prop_assert!(report.ttc() <= 1.5); // child costs unclipped, may pass 1
+        prop_assert!(report.reduced_fraction() <= 1.0 + 1e-9);
+        // Coverage is monotone in the rank fraction.
+        let mut prev = 0.0f64;
+        for i in 1..=10 {
+            let c = report.coverage_top_fraction(i as f64 / 10.0);
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn segment_tables_grow_monotonically_in_k(seed in 0u64..500) {
+        let ds = DatasetBuilder::new(seed)
+            .traces(15)
+            .mix(ScenarioMix::Only(vec!["AppAccessControl".into()]))
+            .build();
+        let name = ScenarioName::new("AppAccessControl");
+        let Some(split) = split_classes(&ds, &name) else { return Ok(()); };
+        if split.slow.is_empty() {
+            return Ok(());
+        }
+        // Build the slow AWG directly.
+        let filter = tracelens_model::ComponentFilter::suffix(".sys");
+        let mut agg = tracelens_causality::Aggregator::new(&ds.stacks, &filter);
+        for i in &split.slow {
+            let stream = ds.stream_of(i).unwrap();
+            let index = tracelens_waitgraph::StreamIndex::new(stream);
+            agg.add_graph(&tracelens_waitgraph::WaitGraph::build(stream, &index, i));
+        }
+        let awg = agg.finish();
+        let nodes = awg.node_count();
+        let mut prev = 0usize;
+        for k in 1..=6 {
+            let table = enumerate_meta_patterns(&awg, k);
+            prop_assert!(table.len() >= prev, "k={k}");
+            // Upper bound: one tuple per (node, length) pair.
+            prop_assert!(table.len() <= nodes * k);
+            prev = table.len();
+        }
+    }
+
+    #[test]
+    fn reduction_conserves_scope_time(seed in 0u64..500) {
+        let ds = DatasetBuilder::new(seed)
+            .traces(20)
+            .mix(ScenarioMix::Only(vec!["BrowserTabSwitch".into()]))
+            .build();
+        let name = ScenarioName::new("BrowserTabSwitch");
+        let with = CausalityAnalysis::default().analyze(&ds, &name);
+        let without = CausalityAnalysis::new(CausalityConfig {
+            reduce: false,
+            ..CausalityConfig::default()
+        })
+        .analyze(&ds, &name);
+        if let (Ok(w), Ok(wo)) = (with, without) {
+            prop_assert_eq!(
+                w.slow_scope_time + w.slow_reduced_time,
+                wo.slow_scope_time
+            );
+            prop_assert_eq!(wo.slow_reduced_time, TimeNs::ZERO);
+        }
+    }
+}

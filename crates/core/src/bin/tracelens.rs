@@ -1,0 +1,559 @@
+//! The `tracelens` command-line tool.
+//!
+//! ```text
+//! tracelens simulate  -o FILE [--traces N] [--seed S] [--mix full|selected|SCENARIO]
+//! tracelens run       SCRIPT.tsim [-o FILE]
+//! tracelens info      FILE
+//! tracelens impact    FILE [--components GLOB] [--scenario NAME]
+//! tracelens blame     FILE [--scenario NAME] [--components GLOB]
+//! tracelens causality FILE --scenario NAME [--top N] [--k K] [--no-reduce]
+//! tracelens scenarios FILE
+//! tracelens locate    FILE --scenario NAME [--rank R] [--top N]
+//! tracelens report    FILE [-o REPORT.md] [--top N]
+//! tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]
+//! tracelens baselines FILE [--top N]
+//! ```
+//!
+//! `FILE` is a data set in the `.tlt` text format
+//! (see [`tracelens::model::textio`]); `-` means stdin/stdout.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+use tracelens::causality::{split_classes, CausalityAnalysis, CausalityConfig};
+use tracelens::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tracelens: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "simulate" => cmd_simulate(rest),
+        "run" => cmd_run(rest),
+        "info" => cmd_info(rest),
+        "impact" => cmd_impact(rest),
+        "blame" => cmd_blame(rest),
+        "causality" => cmd_causality(rest),
+        "scenarios" => cmd_scenarios(rest),
+        "locate" => cmd_locate(rest),
+        "report" => cmd_report(rest),
+        "regress" => cmd_regress(rest),
+        "baselines" => cmd_baselines(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `tracelens help`")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "tracelens — trace-based performance analysis\n\
+         \n\
+         USAGE:\n\
+         \x20 tracelens simulate  -o FILE [--traces N] [--seed S] [--mix full|selected|SCENARIO]\n\
+         \x20 tracelens run       SCRIPT.tsim [-o FILE]   (machine DSL; see sim::script)\n\
+         \x20 tracelens info      FILE\n\
+         \x20 tracelens impact    FILE [--components GLOB] [--scenario NAME]\n\
+         \x20 tracelens blame     FILE [--scenario NAME] [--components GLOB]\n\
+         \x20 tracelens causality FILE --scenario NAME [--top N] [--k K] [--no-reduce]\n\
+         \x20 tracelens scenarios FILE\n\
+         \x20 tracelens locate    FILE --scenario NAME [--rank R] [--top N]\n\
+         \x20 tracelens report    FILE [-o REPORT.md] [--top N]\n\
+         \x20 tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]\n\
+         \x20 tracelens baselines FILE [--top N]\n\
+         \n\
+         FILE is a .tlt data set; `-` reads stdin / writes stdout."
+    );
+}
+
+/// Minimal option parser: positional arguments plus `--flag [value]`.
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String], value_flags: &[&str]) -> Result<Opts, String> {
+        let mut opts = Opts {
+            positional: Vec::new(),
+            flags: Vec::new(),
+        };
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    opts.flags.push((name.to_owned(), Some(v.clone())));
+                } else {
+                    opts.flags.push((name.to_owned(), None));
+                }
+            } else if a == "-o" {
+                let v = it.next().ok_or("-o requires a value")?;
+                opts.flags.push(("o".to_owned(), Some(v.clone())));
+            } else {
+                opts.positional.push(a.clone());
+            }
+        }
+        Ok(opts)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    let read: Box<dyn Read> = if path == "-" {
+        Box::new(io::stdin())
+    } else {
+        Box::new(File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?)
+    };
+    let ds = Dataset::read_text(BufReader::new(read)).map_err(|e| e.to_string())?;
+    if let Err(e) = ds.validate() {
+        eprintln!("warning: {e}");
+    }
+    Ok(ds)
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["traces", "seed", "mix"])?;
+    let traces: usize = opts.parsed("traces", 100)?;
+    let seed: u64 = opts.parsed("seed", 2014)?;
+    let mix = match opts.value("mix").unwrap_or("full") {
+        "full" => ScenarioMix::Full,
+        "selected" => ScenarioMix::Selected,
+        name => ScenarioMix::Only(vec![name.to_owned()]),
+    };
+    let out_path = opts.value("o").ok_or("simulate requires -o FILE")?;
+    let ds = DatasetBuilder::new(seed).traces(traces).mix(mix).build();
+    let out: Box<dyn Write> = if out_path == "-" {
+        Box::new(io::stdout())
+    } else {
+        Box::new(File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?)
+    };
+    ds.write_text(BufWriter::new(out))
+        .map_err(|e| format!("write failed: {e}"))?;
+    eprintln!(
+        "wrote {} traces / {} instances / {} events",
+        ds.streams.len(),
+        ds.instances.len(),
+        ds.total_events()
+    );
+    Ok(())
+}
+
+/// Runs a machine script (the `.tsim` DSL) and writes the resulting
+/// data set, or prints a summary when no output file is given.
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let path = opts.positional.first().ok_or("run requires SCRIPT.tsim")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ds = tracelens::sim::script::run_script(&text).map_err(|e| e.to_string())?;
+    eprintln!(
+        "simulated {} events, {} instances",
+        ds.total_events(),
+        ds.instances.len()
+    );
+    match opts.value("o") {
+        Some(out_path) => {
+            let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+            ds.write_text(BufWriter::new(out))
+                .map_err(|e| format!("write failed: {e}"))?;
+            eprintln!("wrote {out_path}");
+        }
+        None => {
+            for i in &ds.instances {
+                println!(
+                    "{}  {}  thread {}  duration {}",
+                    i.trace, i.scenario, i.tid, i.duration()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let path = opts.positional.first().ok_or("info requires FILE")?;
+    let ds = load(path)?;
+    println!("traces      : {}", ds.streams.len());
+    println!("instances   : {}", ds.instances.len());
+    println!("events      : {}", ds.total_events());
+    println!("stacks      : {}", ds.stacks.len());
+    println!("scenarios   : {}", ds.scenarios.len());
+    println!("total time  : {}", ds.total_instance_time());
+    println!();
+    print!("{}", tracelens::model::DatasetSummary::of(&ds));
+    Ok(())
+}
+
+fn cmd_impact(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["components", "scenario"])?;
+    let path = opts.positional.first().ok_or("impact requires FILE")?;
+    let ds = load(path)?;
+    let filter = ComponentFilter::glob(opts.value("components").unwrap_or("*.sys"));
+    let analyzer = ImpactAnalyzer::new(filter.clone());
+    let report = match opts.value("scenario") {
+        Some(name) => {
+            let name = ScenarioName::new(name);
+            analyzer.analyze_where(&ds, |i| i.scenario == name)
+        }
+        None => analyzer.analyze(&ds),
+    };
+    println!("components: {filter}");
+    println!("{report}");
+    Ok(())
+}
+
+/// Per-module time attribution: where the selected instances' time goes.
+fn cmd_blame(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["components", "scenario"])?;
+    let path = opts.positional.first().ok_or("blame requires FILE")?;
+    let ds = load(path)?;
+    let filter = ComponentFilter::glob(opts.value("components").unwrap_or("*.sys"));
+    let scenario = opts.value("scenario").map(ScenarioName::new);
+    let b = tracelens::impact::breakdown(&ds, &filter, |i| {
+        scenario.as_ref().map(|s| &i.scenario == s).unwrap_or(true)
+    });
+    println!("instances        : {}", b.instances);
+    println!("total time       : {}", b.total);
+    println!(
+        "app CPU          : {}  ({:.1}%)",
+        b.app_cpu,
+        100.0 * b.app_cpu.ratio(b.total)
+    );
+    println!(
+        "component CPU    : {}  ({:.1}%)",
+        b.component_cpu,
+        100.0 * b.component_cpu.ratio(b.total)
+    );
+    println!(
+        "component wait   : {}  ({:.1}%)",
+        b.component_wait(),
+        100.0 * b.component_wait().ratio(b.total)
+    );
+    println!(
+        "unattributed     : {}  ({:.1}%)",
+        b.unattributed,
+        100.0 * b.unattributed.ratio(b.total)
+    );
+    println!("\ncomponent wait by module:");
+    for (module, t) in b.ranked_modules() {
+        println!("  {module:<16} {t:>12}  ({:.1}%)", 100.0 * t.ratio(b.total));
+    }
+    Ok(())
+}
+
+fn cmd_causality(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["scenario", "top", "k", "components"])?;
+    let path = opts.positional.first().ok_or("causality requires FILE")?;
+    let scenario = ScenarioName::new(
+        opts.value("scenario")
+            .ok_or("causality requires --scenario NAME")?,
+    );
+    let top: usize = opts.parsed("top", 10)?;
+    let k: usize = opts.parsed("k", tracelens::causality::DEFAULT_SEGMENT_BOUND)?;
+    if k == 0 {
+        return Err("--k must be at least 1".to_owned());
+    }
+    let ds = load(path)?;
+    let config = CausalityConfig {
+        components: ComponentFilter::glob(opts.value("components").unwrap_or("*.sys")),
+        segment_bound: k,
+        reduce: !opts.has("no-reduce"),
+    };
+    let report = CausalityAnalysis::new(config)
+        .analyze(&ds, &scenario)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{scenario}: {} fast / {} slow / {} margin — {} contrast patterns",
+        report.fast_instances,
+        report.slow_instances,
+        report.margin_instances,
+        report.patterns.len()
+    );
+    println!(
+        "coverage: ITC {:.1}%  TTC {:.1}%  (direct-hw pruned: {:.1}%)\n",
+        report.itc() * 100.0,
+        report.ttc() * 100.0,
+        report.reduced_fraction() * 100.0
+    );
+    for (i, p) in report.top(top).iter().enumerate() {
+        let hi = if p.is_high_impact(report.thresholds.slow()) {
+            " [high-impact]"
+        } else {
+            ""
+        };
+        println!(
+            "#{} avg {} (total {}, N={}, worst {}){hi}",
+            i + 1,
+            p.avg_cost(),
+            p.c,
+            p.n,
+            p.c_max
+        );
+        println!("{}", p.tuple.render(&ds.stacks));
+        if !p.examples.is_empty() {
+            let refs: Vec<String> = p
+                .examples
+                .iter()
+                .map(|(trace, tid)| format!("{trace}/{tid}"))
+                .collect();
+            println!("examples: {}", refs.join(", "));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_scenarios(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let path = opts.positional.first().ok_or("scenarios requires FILE")?;
+    let ds = load(path)?;
+    println!(
+        "{:<26}{:>10}{:>8}{:>8}{:>8}  thresholds",
+        "scenario", "instances", "fast", "slow", "margin"
+    );
+    for s in &ds.scenarios {
+        let Some(split) = split_classes(&ds, &s.name) else {
+            continue;
+        };
+        println!(
+            "{:<26}{:>10}{:>8}{:>8}{:>8}  {} / {}",
+            s.name.as_str(),
+            split.total(),
+            split.fast.len(),
+            split.slow.len(),
+            split.margin.len(),
+            s.thresholds.fast(),
+            s.thresholds.slow()
+        );
+    }
+    Ok(())
+}
+
+/// Drill down from a ranked pattern to the concrete incidents: the
+/// §2.3 workflow of "investigating a specific trace stream".
+fn cmd_locate(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["scenario", "rank", "top"])?;
+    let path = opts.positional.first().ok_or("locate requires FILE")?;
+    let scenario = ScenarioName::new(
+        opts.value("scenario")
+            .ok_or("locate requires --scenario NAME")?,
+    );
+    let rank: usize = opts.parsed("rank", 1)?;
+    let top: usize = opts.parsed("top", 5)?;
+    if rank == 0 {
+        return Err("--rank is 1-based".to_owned());
+    }
+    let ds = load(path)?;
+    let report = CausalityAnalysis::default()
+        .analyze(&ds, &scenario)
+        .map_err(|e| e.to_string())?;
+    let pattern = report
+        .patterns
+        .get(rank - 1)
+        .ok_or_else(|| format!("only {} patterns discovered", report.patterns.len()))?;
+    println!("pattern #{rank} (avg {}):", pattern.avg_cost());
+    println!("{}\n", pattern.tuple.render(&ds.stacks));
+    let filter = ComponentFilter::suffix(".sys");
+    let sites = tracelens::causality::locate_pattern(&ds, &scenario, &pattern.tuple, &filter);
+    println!("{} concrete incidents; worst {top}:", sites.len());
+    for s in sites.iter().take(top) {
+        println!(
+            "  {} thread {}  instance [{} → {}]  chain root {}",
+            s.instance.trace, s.instance.tid, s.instance.t0, s.instance.t1, s.root_duration
+        );
+    }
+    // Walk the worst incident's critical path, Figure-1 style.
+    if let Some(worst) = sites.first() {
+        let stream = ds.stream_of(&worst.instance).expect("stream exists");
+        let index = StreamIndex::new(stream);
+        let graph = WaitGraph::build(stream, &index, &worst.instance);
+        println!("\ndominant wait chain of the worst incident:");
+        for (depth, id) in graph.dominant_path().into_iter().enumerate() {
+            let node = graph.node(id);
+            let frame = ds
+                .stacks
+                .frames(node.stack)
+                .last()
+                .and_then(|&sym| ds.stacks.symbols().resolve(sym))
+                .unwrap_or("?");
+            println!(
+                "  {}{} {} {} [{}]",
+                "  ".repeat(depth),
+                if node.kind.is_wait() { "wait" } else { "op  " },
+                node.tid,
+                frame,
+                node.duration
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Renders the full Markdown study report.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["top"])?;
+    let path = opts.positional.first().ok_or("report requires FILE")?;
+    let top: usize = opts.parsed("top", 3)?;
+    let ds = load(path)?;
+    let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name.clone()).collect();
+    let study = Study::run(&ds, &StudyConfig::default(), &names);
+    let md = tracelens::render_markdown(
+        &study,
+        &ds,
+        &tracelens::ReportOptions {
+            top_patterns: top,
+            ..Default::default()
+        },
+    );
+    match opts.value("o") {
+        Some(out_path) => {
+            std::fs::write(out_path, md).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            eprintln!("wrote {out_path}");
+        }
+        None => print!("{md}"),
+    }
+    Ok(())
+}
+
+/// Compares two data sets (e.g. two builds) and reports behaviors that
+/// appeared or became drastically more expensive.
+fn cmd_regress(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["scenario", "top"])?;
+    let [base_path, cand_path] = opts.positional.as_slice() else {
+        return Err("regress requires BASELINE and CANDIDATE files".to_owned());
+    };
+    let scenario = ScenarioName::new(
+        opts.value("scenario")
+            .ok_or("regress requires --scenario NAME")?,
+    );
+    let top: usize = opts.parsed("top", 10)?;
+    let baseline = load(base_path)?;
+    let candidate = load(cand_path)?;
+    let regs = tracelens::causality::find_regressions(
+        &baseline,
+        &candidate,
+        &scenario,
+        &tracelens::causality::RegressionConfig::default(),
+    );
+    println!(
+        "{}: {} regressed behaviors (showing top {})",
+        scenario,
+        regs.len(),
+        top.min(regs.len())
+    );
+    for r in regs.iter().take(top) {
+        let growth = if r.is_new() {
+            "NEW".to_owned()
+        } else {
+            format!("{:.1}x (was {})", r.factor(), r.baseline_avg.expect("not new"))
+        };
+        println!(
+            "
+avg {} over {} occurrences — {growth}",
+            r.candidate_avg, r.candidate_n
+        );
+        for line in r.render().lines() {
+            println!("  {line}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_baselines(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["top"])?;
+    let path = opts.positional.first().ok_or("baselines requires FILE")?;
+    let top: usize = opts.parsed("top", 10)?;
+    let ds = load(path)?;
+    println!("--- call-graph profile (top {top} by exclusive CPU) ---");
+    println!("{}", CallGraphProfile::build(&ds).render(&ds, top));
+    println!("--- lock contention (top {top} sites by blocked time) ---");
+    println!("{}", LockContentionReport::build(&ds).render(&ds, top));
+    println!("--- costly callstacks (StackMine-style, top {top}) ---");
+    println!("{}", CostlyStackReport::build(&ds).render(&ds, top));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_parse_flags_and_positionals() {
+        let o = Opts::parse(
+            &strings(&["file.tlt", "--scenario", "X", "--no-reduce", "-o", "out"]),
+            &["scenario"],
+        )
+        .unwrap();
+        assert_eq!(o.positional, ["file.tlt"]);
+        assert_eq!(o.value("scenario"), Some("X"));
+        assert!(o.has("no-reduce"));
+        assert_eq!(o.value("o"), Some("out"));
+    }
+
+    #[test]
+    fn opts_missing_value_is_an_error() {
+        assert!(Opts::parse(&strings(&["--scenario"]), &["scenario"]).is_err());
+        assert!(Opts::parse(&strings(&["-o"]), &[]).is_err());
+    }
+
+    #[test]
+    fn opts_parsed_defaults_and_errors() {
+        let o = Opts::parse(&strings(&["--top", "7"]), &["top"]).unwrap();
+        assert_eq!(o.parsed::<usize>("top", 3).unwrap(), 7);
+        assert_eq!(o.parsed::<usize>("k", 5).unwrap(), 5);
+        let bad = Opts::parse(&strings(&["--top", "x"]), &["top"]).unwrap();
+        assert!(bad.parsed::<usize>("top", 3).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_runs() {
+        assert!(run(&strings(&["help"])).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+}

@@ -1,0 +1,126 @@
+//! The full-evaluation driver: the paper's workflow over one data set.
+
+use std::collections::BTreeMap;
+use tracelens_causality::{CausalityAnalysis, CausalityConfig, CausalityError, CausalityReport};
+use tracelens_impact::{ImpactAnalyzer, ImpactReport};
+use tracelens_model::{ComponentFilter, Dataset, ScenarioName};
+
+/// Configuration of a [`Study`].
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Component selection (device drivers by default).
+    pub components: ComponentFilter,
+    /// Causality configuration (segment bound, reduction).
+    pub causality: CausalityConfig,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            components: ComponentFilter::suffix(".sys"),
+            causality: CausalityConfig::default(),
+        }
+    }
+}
+
+/// Per-scenario results of a study.
+#[derive(Debug, Clone)]
+pub struct ScenarioStudy {
+    /// Impact restricted to this scenario's instances.
+    pub impact: ImpactReport,
+    /// Impact restricted to this scenario's *slow-class* instances
+    /// (the paper's Table-2 "Driver Cost" scope).
+    pub slow_impact: ImpactReport,
+    /// Causality result, or the reason it could not run (e.g. an empty
+    /// contrast class).
+    pub causality: Result<CausalityReport, CausalityError>,
+}
+
+/// The paper's end-to-end evaluation over a data set: global impact
+/// analysis (§5.1) plus per-scenario causality analysis (§5.2).
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Impact analysis over all instances.
+    pub impact: ImpactReport,
+    /// Per-scenario results, keyed by scenario name.
+    pub scenarios: BTreeMap<ScenarioName, ScenarioStudy>,
+}
+
+impl Study {
+    /// Runs the study over `dataset` for the scenarios in `names`
+    /// (typically the eight selected evaluation scenarios).
+    pub fn run(dataset: &Dataset, config: &StudyConfig, names: &[ScenarioName]) -> Study {
+        let analyzer = ImpactAnalyzer::new(config.components.clone());
+        let causality = CausalityAnalysis::new(config.causality.clone());
+        let impact = analyzer.analyze(dataset);
+        let mut scenarios = BTreeMap::new();
+        for name in names {
+            let scenario_impact = analyzer.analyze_where(dataset, |i| &i.scenario == name);
+            let thresholds = dataset.scenario(name).map(|s| s.thresholds);
+            let slow_impact = match thresholds {
+                Some(th) => analyzer.analyze_where(dataset, |i| {
+                    &i.scenario == name && th.classify(i.duration()) == Some(false)
+                }),
+                None => ImpactReport::default(),
+            };
+            scenarios.insert(
+                name.clone(),
+                ScenarioStudy {
+                    impact: scenario_impact,
+                    slow_impact,
+                    causality: causality.analyze(dataset, name),
+                },
+            );
+        }
+        Study { impact, scenarios }
+    }
+
+    /// Runs the study over all scenarios present in the data set.
+    pub fn run_all(dataset: &Dataset, config: &StudyConfig) -> Study {
+        let names: Vec<ScenarioName> =
+            dataset.scenarios.iter().map(|s| s.name.clone()).collect();
+        Study::run(dataset, config, &names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_sim::{DatasetBuilder, ScenarioMix};
+
+    #[test]
+    fn study_runs_selected_scenarios() {
+        let ds = DatasetBuilder::new(5)
+            .traces(40)
+            .mix(ScenarioMix::Selected)
+            .build();
+        let names: Vec<ScenarioName> = ScenarioName::SELECTED
+            .iter()
+            .map(|&s| ScenarioName::new(s))
+            .collect();
+        let study = Study::run(&ds, &StudyConfig::default(), &names);
+        assert_eq!(study.scenarios.len(), 8);
+        assert!(study.impact.instances > 0);
+        let total: usize = study.scenarios.values().map(|s| s.impact.instances).sum();
+        assert_eq!(total, ds.instances.len());
+        // At least some scenarios have enough data for causality.
+        let ok = study
+            .scenarios
+            .values()
+            .filter(|s| s.causality.is_ok())
+            .count();
+        assert!(ok >= 4, "only {ok} scenarios analyzable");
+        // Slow impact is a subset of scenario impact.
+        for s in study.scenarios.values() {
+            assert!(s.slow_impact.instances <= s.impact.instances);
+            assert!(s.slow_impact.d_scn <= s.impact.d_scn);
+        }
+    }
+
+    #[test]
+    fn run_all_covers_dataset_scenarios() {
+        let ds = DatasetBuilder::new(6).traces(15).build();
+        let study = Study::run_all(&ds, &StudyConfig::default());
+        assert_eq!(study.scenarios.len(), ds.scenarios.len());
+    }
+}

@@ -1,0 +1,145 @@
+//! The impact-analysis report and its derived metrics.
+
+use std::fmt;
+use tracelens_model::TimeNs;
+
+/// Output of impact analysis over a set of scenario instances
+/// (paper §3.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImpactReport {
+    /// `D_scn`: aggregated execution time of all analyzed instances.
+    pub d_scn: TimeNs,
+    /// `D_wait`: aggregated top-level wait time of the chosen components
+    /// across all instance Wait Graphs (duplicates across graphs count).
+    pub d_wait: TimeNs,
+    /// `D_run`: aggregated running time of the chosen components.
+    pub d_run: TimeNs,
+    /// `D_waitdist`: as `D_wait`, but each distinct wait event counts
+    /// only once across all Wait Graphs.
+    pub d_wait_dist: TimeNs,
+    /// Number of scenario instances analyzed.
+    pub instances: usize,
+    /// Number of Wait-Graph nodes visited (diagnostics).
+    pub nodes_visited: usize,
+}
+
+impl ImpactReport {
+    /// `IA_run = D_run / D_scn`.
+    pub fn ia_run(&self) -> f64 {
+        self.d_run.ratio(self.d_scn)
+    }
+
+    /// `IA_wait = D_wait / D_scn`.
+    pub fn ia_wait(&self) -> f64 {
+        self.d_wait.ratio(self.d_scn)
+    }
+
+    /// `IA_opt = (D_wait − D_waitdist) / D_scn` — the share of waiting
+    /// introduced by cost propagation across instances; an upper bound on
+    /// the optimization potential.
+    pub fn ia_opt(&self) -> f64 {
+        self.d_wait
+            .checked_sub(self.d_wait_dist)
+            .map(|extra| extra.ratio(self.d_scn))
+            .unwrap_or(0.0)
+    }
+
+    /// `D_wait / D_waitdist`: how many scenario instances each distinct
+    /// second of component waiting affects on average (the paper measures
+    /// ≈ 3.5 for device drivers).
+    pub fn wait_amplification(&self) -> f64 {
+        self.d_wait.ratio(self.d_wait_dist)
+    }
+
+    /// Component cost share `(D_wait + D_run) / D_scn` — the "Driver
+    /// Cost" column of the paper's Table 2 when restricted to a slow
+    /// class.
+    pub fn component_cost_share(&self) -> f64 {
+        (self.d_wait + self.d_run).ratio(self.d_scn)
+    }
+
+    /// Merges another report into this one (metric sums add; used to
+    /// combine per-stream partial reports).
+    ///
+    /// Note: merging is only meaningful when the two reports were
+    /// produced over disjoint instance sets with a shared distinct-wait
+    /// account; [`crate::ImpactAnalyzer`] handles that internally.
+    pub(crate) fn absorb(&mut self, other: &ImpactReport) {
+        self.d_scn += other.d_scn;
+        self.d_wait += other.d_wait;
+        self.d_run += other.d_run;
+        self.d_wait_dist += other.d_wait_dist;
+        self.instances += other.instances;
+        self.nodes_visited += other.nodes_visited;
+    }
+}
+
+impl fmt::Display for ImpactReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instances          : {}", self.instances)?;
+        writeln!(f, "D_scn              : {}", self.d_scn)?;
+        writeln!(f, "D_wait             : {}", self.d_wait)?;
+        writeln!(f, "D_run              : {}", self.d_run)?;
+        writeln!(f, "D_waitdist         : {}", self.d_wait_dist)?;
+        writeln!(f, "IA_wait            : {:.1}%", self.ia_wait() * 100.0)?;
+        writeln!(f, "IA_run             : {:.1}%", self.ia_run() * 100.0)?;
+        writeln!(f, "IA_opt             : {:.1}%", self.ia_opt() * 100.0)?;
+        write!(
+            f,
+            "Dwait/Dwaitdist    : {:.2}",
+            self.wait_amplification()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ImpactReport {
+        ImpactReport {
+            d_scn: TimeNs(1000),
+            d_wait: TimeNs(364),
+            d_run: TimeNs(16),
+            d_wait_dist: TimeNs(104),
+            instances: 10,
+            nodes_visited: 100,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.ia_wait() - 0.364).abs() < 1e-12);
+        assert!((r.ia_run() - 0.016).abs() < 1e-12);
+        assert!((r.ia_opt() - 0.260).abs() < 1e-12);
+        assert!((r.wait_amplification() - 3.5).abs() < 1e-12);
+        assert!((r.component_cost_share() - 0.380).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = ImpactReport::default();
+        assert_eq!(r.ia_wait(), 0.0);
+        assert_eq!(r.ia_run(), 0.0);
+        assert_eq!(r.ia_opt(), 0.0);
+        assert_eq!(r.wait_amplification(), 0.0);
+    }
+
+    #[test]
+    fn absorb_adds_fields() {
+        let mut a = report();
+        a.absorb(&report());
+        assert_eq!(a.d_scn, TimeNs(2000));
+        assert_eq!(a.instances, 20);
+        assert!((a.ia_wait() - 0.364).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let text = report().to_string();
+        assert!(text.contains("IA_wait"));
+        assert!(text.contains("36.4%"));
+        assert!(text.contains("3.50"));
+    }
+}

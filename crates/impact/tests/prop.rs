@@ -1,0 +1,110 @@
+//! Property-based tests: impact metrics against brute-force references
+//! on randomized wait layouts.
+
+use proptest::prelude::*;
+use tracelens_impact::ImpactAnalyzer;
+use tracelens_model::{
+    ComponentFilter, Dataset, ScenarioInstance, ScenarioName, ThreadId, TimeNs, TraceId,
+    TraceStreamBuilder,
+};
+
+/// One synthetic instance: a single top-level driver wait `[start,
+/// start+len)` on its own thread, resolved by a shared helper thread.
+#[derive(Debug, Clone, Copy)]
+struct WaitSpec {
+    start: u16,
+    len: u16,
+}
+
+fn wait_spec() -> impl Strategy<Value = WaitSpec> {
+    (0u16..2000, 1u16..500).prop_map(|(start, len)| WaitSpec { start, len })
+}
+
+/// Builds a dataset where instance `i` waits exactly per `specs[i]`.
+fn dataset(specs: &[WaitSpec]) -> Dataset {
+    let mut ds = Dataset::new();
+    let drv = ds
+        .stacks
+        .intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
+    let mut b = TraceStreamBuilder::new(0);
+    let helper = ThreadId(100);
+    for (i, w) in specs.iter().enumerate() {
+        let tid = ThreadId(i as u32 + 1);
+        b.push_wait(tid, TimeNs(w.start as u64), TimeNs::ZERO, drv);
+        b.push_unwait(helper, tid, TimeNs(w.start as u64 + w.len as u64), drv);
+    }
+    ds.streams.push(b.finish().unwrap());
+    for (i, w) in specs.iter().enumerate() {
+        ds.instances.push(ScenarioInstance {
+            trace: TraceId(0),
+            scenario: ScenarioName::new("P"),
+            tid: ThreadId(i as u32 + 1),
+            t0: TimeNs(w.start as u64),
+            t1: TimeNs(w.start as u64 + w.len as u64 + 1),
+        });
+    }
+    ds
+}
+
+/// Brute-force union length via a boolean timeline.
+fn union_reference(specs: &[WaitSpec]) -> u64 {
+    let mut covered = vec![false; 3000];
+    for w in specs {
+        let range = w.start as usize..(w.start as usize + w.len as usize);
+        covered[range].iter_mut().for_each(|c| *c = true);
+    }
+    covered.iter().filter(|&&c| c).count() as u64
+}
+
+proptest! {
+    #[test]
+    fn d_wait_and_distinct_match_references(
+        specs in prop::collection::vec(wait_spec(), 1..12)
+    ) {
+        let ds = dataset(&specs);
+        let r = ImpactAnalyzer::new(ComponentFilter::suffix(".sys")).analyze(&ds);
+        // D_wait is the plain sum over instances.
+        let expected_wait: u64 = specs.iter().map(|w| w.len as u64).sum();
+        prop_assert_eq!(r.d_wait, TimeNs(expected_wait));
+        // D_waitdist is the wall-clock union.
+        prop_assert_eq!(r.d_wait_dist, TimeNs(union_reference(&specs)));
+        // Derived identities.
+        prop_assert!(r.d_wait_dist <= r.d_wait);
+        prop_assert!(r.wait_amplification() >= 1.0 - 1e-12);
+        prop_assert!(r.ia_opt() >= -1e-12);
+        prop_assert!(r.ia_opt() <= r.ia_wait() + 1e-12);
+        prop_assert_eq!(r.instances, specs.len());
+    }
+
+    #[test]
+    fn non_matching_filter_sees_nothing(
+        specs in prop::collection::vec(wait_spec(), 1..8)
+    ) {
+        let ds = dataset(&specs);
+        let r = ImpactAnalyzer::new(ComponentFilter::names(["other.sys"])).analyze(&ds);
+        prop_assert_eq!(r.d_wait, TimeNs::ZERO);
+        prop_assert_eq!(r.d_wait_dist, TimeNs::ZERO);
+        prop_assert_eq!(r.d_run, TimeNs::ZERO);
+        // D_scn is unchanged by the filter.
+        let all = ImpactAnalyzer::new(ComponentFilter::Any).analyze(&ds);
+        prop_assert_eq!(r.d_scn, all.d_scn);
+    }
+
+    #[test]
+    fn subset_selection_is_additive_in_d_scn(
+        specs in prop::collection::vec(wait_spec(), 2..10),
+        pivot in 1usize..5,
+    ) {
+        let ds = dataset(&specs);
+        let pivot = pivot.min(specs.len() - 1);
+        let an = ImpactAnalyzer::new(ComponentFilter::suffix(".sys"));
+        let left = an.analyze_where(&ds, |i| (i.tid.0 as usize) <= pivot);
+        let right = an.analyze_where(&ds, |i| (i.tid.0 as usize) > pivot);
+        let whole = an.analyze(&ds);
+        prop_assert_eq!(left.d_scn + right.d_scn, whole.d_scn);
+        prop_assert_eq!(left.d_wait + right.d_wait, whole.d_wait);
+        prop_assert_eq!(left.instances + right.instances, whole.instances);
+        // Union length is subadditive under partitioning.
+        prop_assert!(left.d_wait_dist + right.d_wait_dist >= whole.d_wait_dist);
+    }
+}

@@ -1,0 +1,55 @@
+//! Shape test: impact analysis over a simulated data set must reproduce
+//! the qualitative findings of the paper's §5.1 — drivers wait much more
+//! than they run, and cost propagation accounts for a large share of the
+//! waiting.
+
+use tracelens_impact::ImpactAnalyzer;
+use tracelens_model::ComponentFilter;
+use tracelens_sim::DatasetBuilder;
+
+#[test]
+fn driver_impact_shape_matches_paper() {
+    let ds = DatasetBuilder::new(2024).traces(120).build();
+    let report = ImpactAnalyzer::new(ComponentFilter::suffix(".sys")).analyze(&ds);
+    println!("{report}");
+
+    // IA_wait is substantial (paper: 36.4%).
+    assert!(
+        report.ia_wait() > 0.10 && report.ia_wait() < 0.75,
+        "IA_wait = {:.3}",
+        report.ia_wait()
+    );
+    // IA_run is small (paper: 1.6%) — drivers do little computation.
+    assert!(
+        report.ia_run() < 0.10,
+        "IA_run = {:.3}",
+        report.ia_run()
+    );
+    // Waiting dominates running by an order of magnitude.
+    assert!(report.ia_wait() > 5.0 * report.ia_run());
+    // Cost propagation multiplies waiting across instances
+    // (paper: D_wait / D_waitdist ≈ 3.5; shape: clearly above 1).
+    assert!(
+        report.wait_amplification() > 1.05,
+        "amplification = {:.3}",
+        report.wait_amplification()
+    );
+    // IA_opt is a meaningful share of IA_wait (paper: 26% of 36.4%).
+    assert!(
+        report.ia_opt() > 0.01,
+        "IA_opt = {:.3}",
+        report.ia_opt()
+    );
+    assert!(report.ia_opt() < report.ia_wait());
+}
+
+#[test]
+fn scenario_breakdown_covers_all_scenarios() {
+    let ds = DatasetBuilder::new(7).traces(60).build();
+    let by = ImpactAnalyzer::new(ComponentFilter::suffix(".sys")).analyze_by_scenario(&ds);
+    let total: usize = by.values().map(|r| r.instances).sum();
+    assert_eq!(total, ds.instances.len());
+    for (name, r) in &by {
+        assert!(r.d_scn.as_nanos() > 0, "{name} has zero D_scn");
+    }
+}

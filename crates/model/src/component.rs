@@ -1,0 +1,287 @@
+//! Component selection and driver taxonomy.
+//!
+//! The impact analysis takes "the component name(s) used to filter tracing
+//! events" (paper §3); the device-driver study instantiates it with the
+//! wildcard pattern `*.sys` matched against all function signatures
+//! (§5.1). [`ComponentFilter`] implements that matching. [`DriverType`]
+//! is the ten-way driver taxonomy of Table 4.
+
+use std::fmt;
+
+/// A predicate over component (module) names.
+///
+/// Supports the simple glob syntax the paper uses: `*` matches any run of
+/// characters. Filters can also be an explicit name list or match-all.
+///
+/// ```
+/// use tracelens_model::ComponentFilter;
+/// let drivers = ComponentFilter::glob("*.sys");
+/// assert!(drivers.matches("fs.sys"));
+/// assert!(!drivers.matches("browser.exe"));
+/// let two = ComponentFilter::names(["fs.sys", "se.sys"]);
+/// assert!(two.matches("se.sys"));
+/// assert!(!two.matches("fv.sys"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComponentFilter {
+    /// Matches every component.
+    Any,
+    /// Matches a glob pattern (`*` wildcard only).
+    Glob(String),
+    /// Matches any of an explicit list of component names.
+    Names(Vec<String>),
+}
+
+impl ComponentFilter {
+    /// A filter matching all modules whose name matches the glob `pattern`.
+    pub fn glob(pattern: &str) -> Self {
+        ComponentFilter::Glob(pattern.to_owned())
+    }
+
+    /// A filter matching modules ending with `suffix` — shorthand for
+    /// `glob("*<suffix>")`; `ComponentFilter::suffix(".sys")` selects all
+    /// device drivers.
+    pub fn suffix(suffix: &str) -> Self {
+        ComponentFilter::Glob(format!("*{suffix}"))
+    }
+
+    /// A filter matching exactly the given component names.
+    pub fn names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ComponentFilter::Names(names.into_iter().map(Into::into).collect())
+    }
+
+    /// Whether `module` is selected by this filter.
+    pub fn matches(&self, module: &str) -> bool {
+        match self {
+            ComponentFilter::Any => true,
+            ComponentFilter::Glob(p) => glob_match(p, module),
+            ComponentFilter::Names(ns) => ns.iter().any(|n| n == module),
+        }
+    }
+}
+
+impl fmt::Display for ComponentFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComponentFilter::Any => f.write_str("*"),
+            ComponentFilter::Glob(p) => f.write_str(p),
+            ComponentFilter::Names(ns) => f.write_str(&ns.join(",")),
+        }
+    }
+}
+
+/// Iterative glob matcher supporting `*` (any run of characters).
+///
+/// Classic two-pointer algorithm with backtracking over the most recent
+/// star; linear in practice for the short module names we match.
+fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the star absorb one more character.
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    p[pi..].iter().all(|&c| c == '*')
+}
+
+/// The ten driver categories of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DriverType {
+    /// File-system and general storage drivers (e.g. `fs.sys`).
+    FileSystemGeneralStorage,
+    /// File-system filter drivers (virtualization, anti-virus filters).
+    FileSystemFilter,
+    /// Network stack drivers.
+    Network,
+    /// Storage (full-disk) encryption drivers.
+    StorageEncryption,
+    /// Motion-triggered disk-protection drivers.
+    DiskProtection,
+    /// Graphics/GPU drivers.
+    Graphics,
+    /// Storage backup / shadow-copy drivers.
+    StorageBackup,
+    /// I/O caching drivers.
+    IoCache,
+    /// Mouse / input drivers.
+    Mouse,
+    /// ACPI / power-management drivers.
+    Acpi,
+}
+
+impl DriverType {
+    /// All categories, in Table 4 column order.
+    pub const ALL: [DriverType; 10] = [
+        DriverType::FileSystemGeneralStorage,
+        DriverType::FileSystemFilter,
+        DriverType::Network,
+        DriverType::StorageEncryption,
+        DriverType::DiskProtection,
+        DriverType::Graphics,
+        DriverType::StorageBackup,
+        DriverType::IoCache,
+        DriverType::Mouse,
+        DriverType::Acpi,
+    ];
+
+    /// Short header label as printed in Table 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            DriverType::FileSystemGeneralStorage => "FileSystem,GeneralStorage",
+            DriverType::FileSystemFilter => "FileSystemFilter",
+            DriverType::Network => "Network",
+            DriverType::StorageEncryption => "StorageEncryption",
+            DriverType::DiskProtection => "DiskProtection",
+            DriverType::Graphics => "Graphics",
+            DriverType::StorageBackup => "StorageBackup",
+            DriverType::IoCache => "IOCache",
+            DriverType::Mouse => "Mouse",
+            DriverType::Acpi => "ACPI",
+        }
+    }
+
+    /// The known simulator module names of this category (the inverse of
+    /// [`DriverType::classify`]); useful for scoping an impact analysis
+    /// to one driver type via [`ComponentFilter::names`].
+    pub fn known_modules(self) -> &'static [&'static str] {
+        match self {
+            DriverType::FileSystemGeneralStorage => &["fs.sys", "stor.sys"],
+            DriverType::FileSystemFilter => &["fv.sys", "av.sys", "flt.sys"],
+            DriverType::Network => &["net.sys", "tcpip.sys", "wifi.sys"],
+            DriverType::StorageEncryption => &["se.sys"],
+            DriverType::DiskProtection => &["dp.sys"],
+            DriverType::Graphics => &["graphics.sys", "gpu.sys"],
+            DriverType::StorageBackup => &["bk.sys"],
+            DriverType::IoCache => &["iocache.sys"],
+            DriverType::Mouse => &["mouse.sys"],
+            DriverType::Acpi => &["acpi.sys"],
+        }
+    }
+
+    /// Classifies a driver *module name* into its category using the naming
+    /// convention of the tracelens simulator (`fs.sys`, `fv.sys`,
+    /// `av.sys`, `net.sys`, `se.sys`, `dp.sys`, `graphics.sys`, `bk.sys`,
+    /// `iocache.sys`, `mouse.sys`, `acpi.sys`). Returns `None` for
+    /// non-driver modules.
+    pub fn classify(module: &str) -> Option<DriverType> {
+        let ty = match module {
+            "fs.sys" | "stor.sys" => DriverType::FileSystemGeneralStorage,
+            "fv.sys" | "av.sys" | "flt.sys" => DriverType::FileSystemFilter,
+            "net.sys" | "tcpip.sys" | "wifi.sys" => DriverType::Network,
+            "se.sys" => DriverType::StorageEncryption,
+            "dp.sys" => DriverType::DiskProtection,
+            "graphics.sys" | "gpu.sys" => DriverType::Graphics,
+            "bk.sys" => DriverType::StorageBackup,
+            "iocache.sys" => DriverType::IoCache,
+            "mouse.sys" => DriverType::Mouse,
+            "acpi.sys" => DriverType::Acpi,
+            _ => return None,
+        };
+        Some(ty)
+    }
+}
+
+impl fmt::Display for DriverType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_star_suffix() {
+        let f = ComponentFilter::glob("*.sys");
+        assert!(f.matches("fs.sys"));
+        assert!(f.matches("a.b.sys"));
+        assert!(!f.matches("fs.sysx"));
+        assert!(!f.matches("browser.exe"));
+    }
+
+    #[test]
+    fn glob_star_positions() {
+        assert!(glob_match("fs*", "fs.sys"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("f*s", "fs"));
+        assert!(glob_match("f*s", "fooos"));
+        assert!(!glob_match("f*s", "fsx"));
+        assert!(glob_match("a*b*c", "a-xx-b-yy-c"));
+        assert!(!glob_match("a*b*c", "acb"));
+        assert!(glob_match("abc", "abc"));
+        assert!(!glob_match("abc", "ab"));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("", ""));
+    }
+
+    #[test]
+    fn suffix_constructor() {
+        let f = ComponentFilter::suffix(".sys");
+        assert!(f.matches("se.sys"));
+        assert!(!f.matches("kernel"));
+        assert_eq!(f.to_string(), "*.sys");
+    }
+
+    #[test]
+    fn names_filter() {
+        let f = ComponentFilter::names(["fs.sys", "fv.sys"]);
+        assert!(f.matches("fs.sys"));
+        assert!(!f.matches("se.sys"));
+        assert_eq!(f.to_string(), "fs.sys,fv.sys");
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(ComponentFilter::Any.matches("whatever"));
+        assert_eq!(ComponentFilter::Any.to_string(), "*");
+    }
+
+    #[test]
+    fn driver_classification() {
+        assert_eq!(
+            DriverType::classify("fs.sys"),
+            Some(DriverType::FileSystemGeneralStorage)
+        );
+        assert_eq!(DriverType::classify("av.sys"), Some(DriverType::FileSystemFilter));
+        assert_eq!(DriverType::classify("net.sys"), Some(DriverType::Network));
+        assert_eq!(DriverType::classify("kernel"), None);
+        assert_eq!(DriverType::ALL.len(), 10);
+    }
+
+    #[test]
+    fn known_modules_round_trip_through_classify() {
+        for ty in DriverType::ALL {
+            for m in ty.known_modules() {
+                assert_eq!(DriverType::classify(m), Some(ty), "module {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn driver_labels_nonempty_and_distinct() {
+        let labels: std::collections::HashSet<_> =
+            DriverType::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), 10);
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+}

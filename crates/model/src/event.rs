@@ -1,0 +1,126 @@
+//! Tracing events (the paper's §2.1 event types).
+
+use crate::ids::{ProcessId, ThreadId};
+use crate::stack::StackId;
+use crate::time::TimeNs;
+
+/// The four event types of a trace stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// CPU usage sampled in a constant interval (1 ms in ETW/DTrace).
+    Running,
+    /// A thread entered the waiting state due to a blocking operation.
+    Wait,
+    /// A running thread signalled a waiting thread to continue execution.
+    Unwait,
+    /// A hardware operation, recorded with start timestamp and duration.
+    HardwareService,
+}
+
+impl EventKind {
+    /// Short lowercase label, handy in reports and DOT output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Running => "run",
+            EventKind::Wait => "wait",
+            EventKind::Unwait => "unwait",
+            EventKind::HardwareService => "hw",
+        }
+    }
+}
+
+/// One tracing event.
+///
+/// Field names mirror the paper: callstack `e.S` ([`Event::stack`]),
+/// timestamp `e.T` ([`Event::t`]), cost `e.C` ([`Event::cost`]), thread
+/// `e.TID` ([`Event::tid`]) and, for unwait events, the woken thread
+/// `e.WTID` ([`Event::wtid`]).
+///
+/// In a raw stream the cost of a *wait* event may be zero; the Wait-Graph
+/// builder restores it from the timestamp of the paired unwait event, as
+/// described in §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Event type.
+    pub kind: EventKind,
+    /// Emitting thread.
+    pub tid: ThreadId,
+    /// Process owning [`Event::tid`].
+    pub pid: ProcessId,
+    /// Start timestamp.
+    pub t: TimeNs,
+    /// Duration. For unwait events this is zero (they are instantaneous
+    /// signals); for wait events it may be zero until restored by pairing.
+    pub cost: TimeNs,
+    /// Callstack at the time of the event.
+    pub stack: StackId,
+    /// For unwait events: the thread being woken. `None` otherwise.
+    pub wtid: Option<ThreadId>,
+}
+
+impl Event {
+    /// End timestamp (`t + cost`).
+    pub fn end(&self) -> TimeNs {
+        self.t + self.cost
+    }
+
+    /// Whether the half-open interval `[t, end)` of this event overlaps
+    /// the half-open interval `[from, to)`.
+    pub fn overlaps(&self, from: TimeNs, to: TimeNs) -> bool {
+        self.t < to && from < self.end()
+    }
+
+    /// Whether this event lies entirely within `[from, to]`.
+    pub fn within(&self, from: TimeNs, to: TimeNs) -> bool {
+        self.t >= from && self.end() <= to
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, cost: u64) -> Event {
+        Event {
+            kind: EventKind::Running,
+            tid: ThreadId(1),
+            pid: ProcessId(1),
+            t: TimeNs(t),
+            cost: TimeNs(cost),
+            stack: StackId(0),
+            wtid: None,
+        }
+    }
+
+    #[test]
+    fn end_is_start_plus_cost() {
+        assert_eq!(ev(10, 5).end(), TimeNs(15));
+        assert_eq!(ev(10, 0).end(), TimeNs(10));
+    }
+
+    #[test]
+    fn overlap_half_open() {
+        let e = ev(10, 10); // [10, 20)
+        assert!(e.overlaps(TimeNs(0), TimeNs(11)));
+        assert!(e.overlaps(TimeNs(19), TimeNs(30)));
+        assert!(!e.overlaps(TimeNs(20), TimeNs(30)));
+        assert!(!e.overlaps(TimeNs(0), TimeNs(10)));
+    }
+
+    #[test]
+    fn within_inclusive() {
+        let e = ev(10, 10);
+        assert!(e.within(TimeNs(10), TimeNs(20)));
+        assert!(e.within(TimeNs(5), TimeNs(25)));
+        assert!(!e.within(TimeNs(11), TimeNs(25)));
+        assert!(!e.within(TimeNs(5), TimeNs(19)));
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(EventKind::Running.label(), "run");
+        assert_eq!(EventKind::Wait.label(), "wait");
+        assert_eq!(EventKind::Unwait.label(), "unwait");
+        assert_eq!(EventKind::HardwareService.label(), "hw");
+    }
+}

@@ -1,0 +1,72 @@
+//! Identifier newtypes.
+//!
+//! Traces juggle several unrelated integer id spaces (threads, processes,
+//! trace streams, events); newtypes keep them statically distinct.
+
+use std::fmt;
+
+/// Identifier of a thread within a trace stream.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+/// Identifier of a process within a trace stream.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+/// Identifier of a trace stream within a data set.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u32);
+
+/// Index of an event inside its trace stream.
+///
+/// Combined with the [`TraceId`] it forms a globally unique event identity,
+/// which the impact analysis uses to deduplicate wait events shared by
+/// multiple scenario instances (the `Dwaitdist` metric).
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+macro_rules! impl_id_fmt {
+    ($ty:ident, $prefix:literal) => {
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl From<u32> for $ty {
+            fn from(raw: u32) -> Self {
+                $ty(raw)
+            }
+        }
+    };
+}
+
+impl_id_fmt!(ThreadId, "T");
+impl_id_fmt!(ProcessId, "P");
+impl_id_fmt!(TraceId, "trace#");
+impl_id_fmt!(EventId, "e");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert_eq!(ProcessId(7).to_string(), "P7");
+        assert_eq!(TraceId(1).to_string(), "trace#1");
+        assert_eq!(EventId(42).to_string(), "e42");
+        assert_eq!(format!("{:?}", ThreadId(3)), "T3");
+    }
+
+    #[test]
+    fn conversions_and_ordering() {
+        assert_eq!(ThreadId::from(5), ThreadId(5));
+        assert!(EventId(1) < EventId(2));
+        assert_eq!(TraceId::default(), TraceId(0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Application scenarios and scenario instances.
+//!
+//! A *scenario* is a named user-visible operation (e.g.
+//! `BrowserTabCreate`) with developer-specified performance thresholds; a
+//! *scenario instance* is one execution of that scenario recorded in a
+//! trace stream (paper §2.1).
+
+use crate::ids::{ThreadId, TraceId};
+use crate::time::TimeNs;
+use std::fmt;
+
+/// Name of an application scenario.
+///
+/// A thin string wrapper: the paper's data set has 1,364 scenario names,
+/// so this is open-ended rather than an enum. The eight scenarios of the
+/// evaluation are provided as constants.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScenarioName(pub String);
+
+impl ScenarioName {
+    /// The eight selected scenarios of the paper's Table 1.
+    pub const SELECTED: [&'static str; 8] = [
+        "AppAccessControl",
+        "AppNonResponsive",
+        "BrowserFrameCreate",
+        "BrowserTabClose",
+        "BrowserTabCreate",
+        "BrowserTabSwitch",
+        "MenuDisplay",
+        "WebPageNavigation",
+    ];
+
+    /// Creates a scenario name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioName(name.into())
+    }
+
+    /// The name text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ScenarioName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ScenarioName {
+    fn from(s: &str) -> Self {
+        ScenarioName(s.to_owned())
+    }
+}
+
+/// Developer-specified performance expectation for a scenario:
+/// `t_fast` is the upper bound of normal performance, `t_slow` the lower
+/// bound of degradation (§4.2.1). Instances between the two are discarded
+/// from contrast mining, giving the classes a clean margin
+/// (`T_slow − T_fast ≫ 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Thresholds {
+    t_fast: TimeNs,
+    t_slow: TimeNs,
+}
+
+impl Thresholds {
+    /// Creates a threshold pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_fast >= t_slow`; the contrast classes would overlap.
+    pub fn new(t_fast: TimeNs, t_slow: TimeNs) -> Self {
+        assert!(
+            t_fast < t_slow,
+            "t_fast ({t_fast}) must be strictly below t_slow ({t_slow})"
+        );
+        Thresholds { t_fast, t_slow }
+    }
+
+    /// Upper bound of normal performance.
+    pub fn fast(&self) -> TimeNs {
+        self.t_fast
+    }
+
+    /// Lower bound of degraded performance.
+    pub fn slow(&self) -> TimeNs {
+        self.t_slow
+    }
+
+    /// The contrast ratio `T_slow / T_fast` used by the common-pattern
+    /// contrast criterion (§4.2.3).
+    pub fn contrast_ratio(&self) -> f64 {
+        self.t_slow.0 as f64 / self.t_fast.0 as f64
+    }
+
+    /// Classifies a duration: `Some(true)` = fast class, `Some(false)` =
+    /// slow class, `None` = in the margin between the thresholds.
+    pub fn classify(&self, duration: TimeNs) -> Option<bool> {
+        if duration < self.t_fast {
+            Some(true)
+        } else if duration > self.t_slow {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+/// A scenario with its thresholds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// The scenario's name.
+    pub name: ScenarioName,
+    /// The scenario's performance thresholds.
+    pub thresholds: Thresholds,
+}
+
+impl Scenario {
+    /// Creates a scenario from a name and thresholds.
+    pub fn new(name: impl Into<ScenarioName>, thresholds: Thresholds) -> Self {
+        Scenario {
+            name: name.into(),
+            thresholds,
+        }
+    }
+}
+
+/// One recorded execution of a scenario: the tuple
+/// `⟨TS, S, TID, t0, t1⟩` of §2.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioInstance {
+    /// The trace stream holding this instance.
+    pub trace: TraceId,
+    /// The scenario being executed.
+    pub scenario: ScenarioName,
+    /// The initiating thread.
+    pub tid: ThreadId,
+    /// Instance start time.
+    pub t0: TimeNs,
+    /// Instance end time.
+    pub t1: TimeNs,
+}
+
+impl ScenarioInstance {
+    /// The instance's recorded execution time `t1 − t0`.
+    pub fn duration(&self) -> TimeNs {
+        self.t0.saturating_span_to(self.t1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selected_scenarios_match_table1() {
+        assert_eq!(ScenarioName::SELECTED.len(), 8);
+        assert!(ScenarioName::SELECTED.contains(&"BrowserTabCreate"));
+        assert_eq!(ScenarioName::new("MenuDisplay").to_string(), "MenuDisplay");
+    }
+
+    #[test]
+    fn thresholds_classify() {
+        let th = Thresholds::new(TimeNs::from_millis(300), TimeNs::from_millis(500));
+        assert_eq!(th.classify(TimeNs::from_millis(100)), Some(true));
+        assert_eq!(th.classify(TimeNs::from_millis(400)), None);
+        assert_eq!(th.classify(TimeNs::from_millis(800)), Some(false));
+        assert!((th.contrast_ratio() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(th.fast(), TimeNs::from_millis(300));
+        assert_eq!(th.slow(), TimeNs::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be strictly below")]
+    fn thresholds_reject_inverted() {
+        let _ = Thresholds::new(TimeNs::from_millis(500), TimeNs::from_millis(300));
+    }
+
+    #[test]
+    fn instance_duration() {
+        let i = ScenarioInstance {
+            trace: TraceId(0),
+            scenario: "X".into(),
+            tid: ThreadId(1),
+            t0: TimeNs(100),
+            t1: TimeNs(350),
+        };
+        assert_eq!(i.duration(), TimeNs(250));
+    }
+
+    #[test]
+    fn boundary_durations_fall_in_margin() {
+        let th = Thresholds::new(TimeNs(300), TimeNs(500));
+        assert_eq!(th.classify(TimeNs(300)), None);
+        assert_eq!(th.classify(TimeNs(500)), None);
+        assert_eq!(th.classify(TimeNs(299)), Some(true));
+        assert_eq!(th.classify(TimeNs(501)), Some(false));
+    }
+}

@@ -1,0 +1,121 @@
+//! Inferring scenario instances from raw streams.
+//!
+//! The paper assumes a set of predefined scenarios whose instances are
+//! already delimited ("performance analysts have a set of predefined
+//! scenarios that are used to capture scenario-related execution
+//! traces", §2.1). Real trace sources don't always carry such markers;
+//! this module reconstructs instance spans from an initiating thread's
+//! activity: a maximal run of events separated by idle gaps shorter than
+//! a threshold is one instance.
+
+use crate::ids::ThreadId;
+use crate::scenario::{ScenarioInstance, ScenarioName};
+use crate::stream::TraceStream;
+use crate::time::TimeNs;
+
+/// Splits the activity of `tid` in `stream` into instance spans of
+/// `scenario`: consecutive events whose inter-event gap (from one
+/// event's end to the next event's start) is below `min_gap` belong to
+/// the same instance.
+///
+/// Wait events carry zero raw cost in unpaired streams; their paired
+/// duration is unknown here, so gaps are measured between event *start*
+/// times when an event has zero cost. Returns spans in time order.
+pub fn infer_instances(
+    stream: &TraceStream,
+    tid: ThreadId,
+    scenario: &ScenarioName,
+    min_gap: TimeNs,
+) -> Vec<ScenarioInstance> {
+    let mut spans: Vec<(TimeNs, TimeNs)> = Vec::new();
+    let mut current: Option<(TimeNs, TimeNs)> = None;
+    for (_, e) in stream.events_of_thread(tid) {
+        let (start, end) = (e.t, e.end());
+        match current {
+            None => current = Some((start, end)),
+            Some((s, prev_end)) => {
+                if start.checked_sub(prev_end.max(s)).unwrap_or(TimeNs::ZERO) >= min_gap {
+                    spans.push((s, prev_end));
+                    current = Some((start, end));
+                } else {
+                    current = Some((s, prev_end.max(end)));
+                }
+            }
+        }
+    }
+    if let Some(span) = current {
+        spans.push(span);
+    }
+    spans
+        .into_iter()
+        .map(|(t0, t1)| ScenarioInstance {
+            trace: stream.id(),
+            scenario: scenario.clone(),
+            tid,
+            t0,
+            t1,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackId;
+    use crate::stream::TraceStreamBuilder;
+
+    fn stream(spans: &[(u64, u64)]) -> TraceStream {
+        let mut b = TraceStreamBuilder::new(0);
+        for &(t, cost) in spans {
+            b.push_running(ThreadId(1), TimeNs(t), TimeNs(cost), StackId(0));
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn contiguous_activity_is_one_instance() {
+        let s = stream(&[(0, 10), (10, 10), (25, 5)]);
+        let out = infer_instances(&s, ThreadId(1), &ScenarioName::new("S"), TimeNs(50));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].t0, TimeNs(0));
+        assert_eq!(out[0].t1, TimeNs(30));
+    }
+
+    #[test]
+    fn large_gap_splits_instances() {
+        let s = stream(&[(0, 10), (200, 10), (215, 5)]);
+        let out = infer_instances(&s, ThreadId(1), &ScenarioName::new("S"), TimeNs(50));
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].t0, out[0].t1), (TimeNs(0), TimeNs(10)));
+        assert_eq!((out[1].t0, out[1].t1), (TimeNs(200), TimeNs(220)));
+    }
+
+    #[test]
+    fn gap_exactly_at_threshold_splits() {
+        let s = stream(&[(0, 10), (60, 5)]);
+        let out = infer_instances(&s, ThreadId(1), &ScenarioName::new("S"), TimeNs(50));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn idle_thread_yields_nothing() {
+        let s = stream(&[]);
+        assert!(infer_instances(&s, ThreadId(1), &ScenarioName::new("S"), TimeNs(50)).is_empty());
+        let s2 = stream(&[(0, 10)]);
+        assert!(infer_instances(&s2, ThreadId(9), &ScenarioName::new("S"), TimeNs(50)).is_empty());
+    }
+
+    #[test]
+    fn wait_events_extend_the_span_via_start_times() {
+        // A zero-cost wait at t=30 keeps the instance alive even though
+        // the previous event ended at 10, provided the gap stays small.
+        let mut b = TraceStreamBuilder::new(0);
+        b.push_running(ThreadId(1), TimeNs(0), TimeNs(10), StackId(0));
+        b.push_wait(ThreadId(1), TimeNs(30), TimeNs::ZERO, StackId(0));
+        b.push_running(ThreadId(1), TimeNs(35), TimeNs(5), StackId(0));
+        let s = b.finish().unwrap();
+        let out = infer_instances(&s, ThreadId(1), &ScenarioName::new("S"), TimeNs(50));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].t1, TimeNs(40));
+    }
+}

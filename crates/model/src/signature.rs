@@ -1,0 +1,150 @@
+//! Function signatures.
+//!
+//! A *signature* names a function together with the binary (component)
+//! that hosts it, in the conventional `module!Function` notation used by
+//! Windows debuggers and throughout the paper, e.g.
+//! `fs.sys!AcquireMDU` or `kernel!WaitForObject`.
+
+use std::error::Error;
+use std::fmt;
+
+/// A `module!function` signature, stored as owned strings.
+///
+/// The interned, analysis-side representation is a
+/// [`Symbol`](crate::Symbol) over the full signature text; this type is the
+/// structured, human-facing form used at construction and reporting
+/// boundaries.
+///
+/// ```
+/// use tracelens_model::Signature;
+/// let sig: Signature = "fs.sys!AcquireMDU".parse()?;
+/// assert_eq!(sig.module(), "fs.sys");
+/// assert_eq!(sig.function(), "AcquireMDU");
+/// assert_eq!(sig.to_string(), "fs.sys!AcquireMDU");
+/// # Ok::<(), tracelens_model::ParseSignatureError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signature {
+    module: String,
+    function: String,
+}
+
+impl Signature {
+    /// Creates a signature from a module and function name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSignatureError`] if either part is empty or contains
+    /// the `!` separator.
+    pub fn new(module: &str, function: &str) -> Result<Self, ParseSignatureError> {
+        if module.is_empty() || function.is_empty() || module.contains('!') || function.contains('!')
+        {
+            return Err(ParseSignatureError {
+                text: format!("{module}!{function}"),
+            });
+        }
+        Ok(Signature {
+            module: module.to_owned(),
+            function: function.to_owned(),
+        })
+    }
+
+    /// The hosting component (binary image), e.g. `fs.sys`.
+    pub fn module(&self) -> &str {
+        &self.module
+    }
+
+    /// The function name, e.g. `AcquireMDU`.
+    pub fn function(&self) -> &str {
+        &self.function
+    }
+
+    /// Splits raw signature text into `(module, function)` without
+    /// allocating; `None` if `text` is not of the `module!function` form.
+    pub fn split(text: &str) -> Option<(&str, &str)> {
+        let (m, f) = text.split_once('!')?;
+        if m.is_empty() || f.is_empty() || f.contains('!') {
+            return None;
+        }
+        Some((m, f))
+    }
+
+    /// The module part of raw signature text, if well-formed.
+    pub fn module_of(text: &str) -> Option<&str> {
+        Self::split(text).map(|(m, _)| m)
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}!{}", self.module, self.function)
+    }
+}
+
+impl std::str::FromStr for Signature {
+    type Err = ParseSignatureError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match Signature::split(s) {
+            Some((m, f)) => Signature::new(m, f),
+            None => Err(ParseSignatureError { text: s.to_owned() }),
+        }
+    }
+}
+
+/// Error produced when signature text is not of the `module!function` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSignatureError {
+    text: String,
+}
+
+impl fmt::Display for ParseSignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid signature syntax: {:?}", self.text)
+    }
+}
+
+impl Error for ParseSignatureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let sig: Signature = "se.sys!ReadDecrypt".parse().unwrap();
+        assert_eq!(sig.module(), "se.sys");
+        assert_eq!(sig.function(), "ReadDecrypt");
+        assert_eq!(sig.to_string(), "se.sys!ReadDecrypt");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("nodelimiter".parse::<Signature>().is_err());
+        assert!("!fn".parse::<Signature>().is_err());
+        assert!("mod!".parse::<Signature>().is_err());
+        assert!("a!b!c".parse::<Signature>().is_err());
+        assert!(Signature::new("", "f").is_err());
+        assert!(Signature::new("m!x", "f").is_err());
+    }
+
+    #[test]
+    fn split_borrowed() {
+        assert_eq!(Signature::split("fs.sys!Read"), Some(("fs.sys", "Read")));
+        assert_eq!(Signature::split("oops"), None);
+        assert_eq!(Signature::module_of("fs.sys!Read"), Some("fs.sys"));
+    }
+
+    #[test]
+    fn error_display_mentions_text() {
+        let err = "bad".parse::<Signature>().unwrap_err();
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_module_then_function() {
+        let a: Signature = "a.sys!Z".parse().unwrap();
+        let b: Signature = "b.sys!A".parse().unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,206 @@
+//! Descriptive statistics over a data set.
+//!
+//! The quick orientation an analyst takes before choosing where to point
+//! the heavier analyses: event-kind volumes, per-scenario instance
+//! counts, and duration percentiles.
+
+use crate::dataset::Dataset;
+use crate::event::EventKind;
+use crate::scenario::{ScenarioInstance, ScenarioName};
+use crate::time::TimeNs;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Duration distribution of a set of instances.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurationStats {
+    /// Number of instances.
+    pub count: usize,
+    /// Minimum duration.
+    pub min: TimeNs,
+    /// Median (p50).
+    pub p50: TimeNs,
+    /// 90th percentile.
+    pub p90: TimeNs,
+    /// 99th percentile.
+    pub p99: TimeNs,
+    /// Maximum duration.
+    pub max: TimeNs,
+    /// Total duration.
+    pub total: TimeNs,
+}
+
+impl DurationStats {
+    /// Computes the distribution over `durations` (order irrelevant).
+    pub fn of(mut durations: Vec<TimeNs>) -> DurationStats {
+        if durations.is_empty() {
+            return DurationStats::default();
+        }
+        durations.sort_unstable();
+        let pick = |q: f64| {
+            let idx = ((durations.len() - 1) as f64 * q).round() as usize;
+            durations[idx]
+        };
+        DurationStats {
+            count: durations.len(),
+            min: durations[0],
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p99: pick(0.99),
+            max: *durations.last().expect("nonempty"),
+            total: durations.iter().copied().sum(),
+        }
+    }
+
+    /// Mean duration.
+    pub fn mean(&self) -> TimeNs {
+        if self.count == 0 {
+            TimeNs::ZERO
+        } else {
+            self.total / self.count as u64
+        }
+    }
+}
+
+impl fmt::Display for DurationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} p90={} p99={} max={}",
+            self.count, self.min, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// A data-set summary.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetSummary {
+    /// Event counts per kind.
+    pub events: BTreeMap<&'static str, usize>,
+    /// Duration statistics per scenario.
+    pub scenarios: BTreeMap<ScenarioName, DurationStats>,
+    /// Duration statistics over all instances.
+    pub overall: DurationStats,
+}
+
+impl DatasetSummary {
+    /// Summarizes `dataset`.
+    pub fn of(dataset: &Dataset) -> DatasetSummary {
+        let mut events: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for stream in &dataset.streams {
+            for e in stream.events() {
+                let key = match e.kind {
+                    EventKind::Running => "running",
+                    EventKind::Wait => "wait",
+                    EventKind::Unwait => "unwait",
+                    EventKind::HardwareService => "hardware",
+                };
+                *events.entry(key).or_insert(0) += 1;
+            }
+        }
+        let mut per: BTreeMap<ScenarioName, Vec<TimeNs>> = BTreeMap::new();
+        for i in &dataset.instances {
+            per.entry(i.scenario.clone())
+                .or_default()
+                .push(i.duration());
+        }
+        let overall = DurationStats::of(
+            dataset
+                .instances
+                .iter()
+                .map(ScenarioInstance::duration)
+                .collect(),
+        );
+        DatasetSummary {
+            events,
+            scenarios: per
+                .into_iter()
+                .map(|(k, v)| (k, DurationStats::of(v)))
+                .collect(),
+            overall,
+        }
+    }
+}
+
+impl fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "events:")?;
+        for (k, v) in &self.events {
+            write!(f, " {k}={v}")?;
+        }
+        writeln!(f)?;
+        writeln!(f, "instances: {}", self.overall)?;
+        for (name, stats) in &self.scenarios {
+            writeln!(f, "  {name:<24} {stats}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ThreadId, TraceId};
+    use crate::scenario::ScenarioInstance;
+    use crate::stream::TraceStreamBuilder;
+
+    #[test]
+    fn percentiles_on_known_values() {
+        let stats = DurationStats::of((1..=100).map(TimeNs).collect());
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.min, TimeNs(1));
+        assert_eq!(stats.max, TimeNs(100));
+        assert_eq!(stats.p50, TimeNs(51)); // round((99)*0.5)=50 → value 51
+        assert_eq!(stats.p90, TimeNs(90));
+        assert_eq!(stats.p99, TimeNs(99));
+        assert_eq!(stats.total, TimeNs(5050));
+        assert_eq!(stats.mean(), TimeNs(50));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = DurationStats::of(Vec::new());
+        assert_eq!(stats, DurationStats::default());
+        assert_eq!(stats.mean(), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn single_value() {
+        let stats = DurationStats::of(vec![TimeNs(42)]);
+        assert_eq!(stats.min, TimeNs(42));
+        assert_eq!(stats.p50, TimeNs(42));
+        assert_eq!(stats.p99, TimeNs(42));
+        assert_eq!(stats.max, TimeNs(42));
+    }
+
+    #[test]
+    fn summary_counts_kinds_and_scenarios() {
+        let mut ds = Dataset::new();
+        let st = ds.stacks.intern_symbols(&["a!b"]);
+        let mut b = TraceStreamBuilder::new(0);
+        b.push_running(ThreadId(1), TimeNs(0), TimeNs(5), st);
+        b.push_wait(ThreadId(1), TimeNs(5), TimeNs::ZERO, st);
+        b.push_unwait(ThreadId(2), ThreadId(1), TimeNs(9), st);
+        ds.streams.push(b.finish().unwrap());
+        for (tid, name, dur) in [(1u32, "A", 10u64), (2, "A", 20), (3, "B", 30)] {
+            ds.instances.push(ScenarioInstance {
+                trace: TraceId(0),
+                scenario: ScenarioName::new(name),
+                tid: ThreadId(tid),
+                t0: TimeNs(0),
+                t1: TimeNs(dur),
+            });
+        }
+        let s = DatasetSummary::of(&ds);
+        assert_eq!(s.events["running"], 1);
+        assert_eq!(s.events["wait"], 1);
+        assert_eq!(s.events["unwait"], 1);
+        assert_eq!(s.scenarios.len(), 2);
+        assert_eq!(s.scenarios[&ScenarioName::new("A")].count, 2);
+        assert_eq!(s.overall.count, 3);
+        assert_eq!(s.overall.max, TimeNs(30));
+        let text = s.to_string();
+        assert!(text.contains("running=1"));
+        assert!(text.contains("B"));
+    }
+}

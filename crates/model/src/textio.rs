@@ -1,0 +1,449 @@
+//! A line-based text format for data sets (`.tlt`, *tracelens trace*).
+//!
+//! The format lets users bring traces from any source (an ETW or DTrace
+//! export, a custom tracer) and lets simulated data sets be persisted and
+//! reloaded. It is deliberately simple: UTF-8 lines, tab-separated
+//! fields, one record per line.
+//!
+//! ```text
+//! !tracelens  1                                  format version
+//! !scenario   <name> <t_fast_ns> <t_slow_ns>     scenario definition
+//! !stack      <id>   <frame>[TAB<frame>...]      callstack (outermost first)
+//! !trace      <id>                               starts a trace stream
+//! e  <kind> <tid> <pid> <t_ns> <cost_ns> <stack> [<wtid>]
+//! !instance   <trace> <tid> <t0_ns> <t1_ns> <scenario>
+//! ```
+//!
+//! Event kinds are `r` (running), `w` (wait), `u` (unwait, requires
+//! `wtid`), `h` (hardware service). Stack ids must be declared before
+//! use; stacks and scenarios are data-set-global. Blank lines and lines
+//! starting with `#` are ignored.
+
+use crate::component::ComponentFilter;
+use crate::dataset::Dataset;
+use crate::event::EventKind;
+use crate::ids::{ProcessId, ThreadId};
+use crate::scenario::{Scenario, ScenarioInstance, ScenarioName, Thresholds};
+use crate::stack::StackId;
+use crate::stream::TraceStreamBuilder;
+use crate::time::TimeNs;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors produced while reading the text format.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error reading data set: {e}"),
+            ReadError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ReadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl Dataset {
+    /// Writes the data set in the text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`. Returns
+    /// [`io::ErrorKind::InvalidData`] if a frame or scenario name
+    /// contains a tab or newline (unrepresentable).
+    pub fn write_text<W: Write>(&self, mut out: W) -> io::Result<()> {
+        writeln!(out, "!tracelens\t{FORMAT_VERSION}")?;
+        for s in &self.scenarios {
+            check_text(s.name.as_str())?;
+            writeln!(
+                out,
+                "!scenario\t{}\t{}\t{}",
+                s.name.as_str(),
+                s.thresholds.fast().as_nanos(),
+                s.thresholds.slow().as_nanos()
+            )?;
+        }
+        for id in 0..self.stacks.len() {
+            let sid = StackId(id as u32);
+            write!(out, "!stack\t{id}")?;
+            for frame in self.stacks.resolve_frames(sid) {
+                check_text(frame)?;
+                write!(out, "\t{frame}")?;
+            }
+            writeln!(out)?;
+        }
+        for stream in &self.streams {
+            writeln!(out, "!trace\t{}", stream.id().0)?;
+            for e in stream.events() {
+                let kind = match e.kind {
+                    EventKind::Running => 'r',
+                    EventKind::Wait => 'w',
+                    EventKind::Unwait => 'u',
+                    EventKind::HardwareService => 'h',
+                };
+                write!(
+                    out,
+                    "e\t{kind}\t{}\t{}\t{}\t{}\t{}",
+                    e.tid.0,
+                    e.pid.0,
+                    e.t.as_nanos(),
+                    e.cost.as_nanos(),
+                    e.stack.0
+                )?;
+                match e.wtid {
+                    Some(w) => writeln!(out, "\t{}", w.0)?,
+                    None => writeln!(out)?,
+                }
+            }
+        }
+        for i in &self.instances {
+            writeln!(
+                out,
+                "!instance\t{}\t{}\t{}\t{}\t{}",
+                i.trace.0,
+                i.tid.0,
+                i.t0.as_nanos(),
+                i.t1.as_nanos(),
+                i.scenario.as_str()
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads a data set from the text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::Parse`] with the offending line number for
+    /// any malformed record, unknown stack id, or missing header.
+    pub fn read_text<R: BufRead>(input: R) -> Result<Dataset, ReadError> {
+        let mut ds = Dataset::new();
+        // Maps declared stack ids to interned ids (they may differ if
+        // the file's ids are sparse).
+        let mut stack_ids: HashMap<u32, StackId> = HashMap::new();
+        let mut current: Option<(u32, TraceStreamBuilder)> = None;
+        let mut saw_header = false;
+
+        let err = |line: usize, message: &str| ReadError::Parse {
+            line,
+            message: message.to_owned(),
+        };
+
+        for (idx, line) in input.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = line?;
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            match fields[0] {
+                "!tracelens" => {
+                    let v: u32 = fields
+                        .get(1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(lineno, "missing format version"))?;
+                    if v != FORMAT_VERSION {
+                        return Err(err(lineno, &format!("unsupported version {v}")));
+                    }
+                    saw_header = true;
+                }
+                "!scenario" => {
+                    if fields.len() != 4 {
+                        return Err(err(lineno, "!scenario needs name, t_fast, t_slow"));
+                    }
+                    let fast: u64 = fields[2]
+                        .parse()
+                        .map_err(|_| err(lineno, "bad t_fast"))?;
+                    let slow: u64 = fields[3]
+                        .parse()
+                        .map_err(|_| err(lineno, "bad t_slow"))?;
+                    if fast >= slow {
+                        return Err(err(lineno, "t_fast must be below t_slow"));
+                    }
+                    ds.scenarios.push(Scenario::new(
+                        ScenarioName::new(fields[1]),
+                        Thresholds::new(TimeNs(fast), TimeNs(slow)),
+                    ));
+                }
+                "!stack" => {
+                    if fields.len() < 2 {
+                        return Err(err(lineno, "!stack needs an id"));
+                    }
+                    let raw: u32 = fields[1]
+                        .parse()
+                        .map_err(|_| err(lineno, "bad stack id"))?;
+                    let interned = ds.stacks.intern_symbols(&fields[2..]);
+                    stack_ids.insert(raw, interned);
+                }
+                "!trace" => {
+                    if let Some((_, b)) = current.take() {
+                        ds.streams.push(b.finish().map_err(|e| {
+                            err(lineno, &format!("previous trace invalid: {e}"))
+                        })?);
+                    }
+                    let id: u32 = fields
+                        .get(1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(lineno, "bad trace id"))?;
+                    current = Some((id, TraceStreamBuilder::new(id)));
+                }
+                "e" => {
+                    if !saw_header {
+                        return Err(err(lineno, "missing !tracelens header"));
+                    }
+                    let Some((_, builder)) = current.as_mut() else {
+                        return Err(err(lineno, "event outside a !trace section"));
+                    };
+                    if fields.len() < 7 {
+                        return Err(err(lineno, "event needs kind,tid,pid,t,cost,stack"));
+                    }
+                    let tid = ThreadId(
+                        fields[2].parse().map_err(|_| err(lineno, "bad tid"))?,
+                    );
+                    let pid = ProcessId(
+                        fields[3].parse().map_err(|_| err(lineno, "bad pid"))?,
+                    );
+                    let t = TimeNs(fields[4].parse().map_err(|_| err(lineno, "bad t"))?);
+                    let cost =
+                        TimeNs(fields[5].parse().map_err(|_| err(lineno, "bad cost"))?);
+                    let raw_stack: u32 =
+                        fields[6].parse().map_err(|_| err(lineno, "bad stack id"))?;
+                    let stack = *stack_ids
+                        .get(&raw_stack)
+                        .ok_or_else(|| err(lineno, "undeclared stack id"))?;
+                    builder.set_process(pid);
+                    match fields[1] {
+                        "r" => builder.push_running(tid, t, cost, stack),
+                        "w" => builder.push_wait(tid, t, cost, stack),
+                        "h" => builder.push_hardware(tid, t, cost, stack),
+                        "u" => {
+                            let w: u32 = fields
+                                .get(7)
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| err(lineno, "unwait needs wtid"))?;
+                            builder.push_unwait(tid, ThreadId(w), t, stack)
+                        }
+                        other => {
+                            return Err(err(lineno, &format!("unknown event kind {other:?}")))
+                        }
+                    };
+                }
+                "!instance" => {
+                    if fields.len() != 6 {
+                        return Err(err(lineno, "!instance needs trace,tid,t0,t1,scenario"));
+                    }
+                    let trace: u32 =
+                        fields[1].parse().map_err(|_| err(lineno, "bad trace id"))?;
+                    let tid: u32 = fields[2].parse().map_err(|_| err(lineno, "bad tid"))?;
+                    let t0: u64 = fields[3].parse().map_err(|_| err(lineno, "bad t0"))?;
+                    let t1: u64 = fields[4].parse().map_err(|_| err(lineno, "bad t1"))?;
+                    if t0 > t1 {
+                        return Err(err(lineno, "instance t0 after t1"));
+                    }
+                    ds.instances.push(ScenarioInstance {
+                        trace: crate::ids::TraceId(trace),
+                        scenario: ScenarioName::new(fields[5]),
+                        tid: ThreadId(tid),
+                        t0: TimeNs(t0),
+                        t1: TimeNs(t1),
+                    });
+                }
+                other => return Err(err(lineno, &format!("unknown record {other:?}"))),
+            }
+        }
+        if let Some((_, b)) = current.take() {
+            ds.streams.push(
+                b.finish()
+                    .map_err(|e| err(0, &format!("final trace invalid: {e}")))?,
+            );
+        }
+        if !saw_header {
+            return Err(err(0, "missing !tracelens header"));
+        }
+        // Streams must be indexable by their TraceId.
+        ds.streams.sort_by_key(|s| s.id().0);
+        for (i, s) in ds.streams.iter().enumerate() {
+            if s.id().0 as usize != i {
+                return Err(err(0, "trace ids must be dense, starting at 0"));
+            }
+        }
+        Ok(ds)
+    }
+}
+
+/// Rejects text that cannot be represented in the tab-separated format.
+fn check_text(s: &str) -> io::Result<()> {
+    if s.contains('\t') || s.contains('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("text contains tab/newline: {s:?}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Convenience: whether any stream in the data set references the given
+/// components (a cheap pre-flight before a full analysis).
+pub fn mentions_component(ds: &Dataset, filter: &ComponentFilter) -> bool {
+    ds.streams.iter().any(|s| {
+        s.events()
+            .iter()
+            .any(|e| ds.stacks.contains_component(e.stack, filter))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn tiny() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.scenarios.push(Scenario::new(
+            ScenarioName::new("S"),
+            Thresholds::new(TimeNs(100), TimeNs(200)),
+        ));
+        let st = ds.stacks.intern_symbols(&["app!Main", "fs.sys!Read"]);
+        let mut b = TraceStreamBuilder::new(0);
+        b.push_running(ThreadId(1), TimeNs(0), TimeNs(10), st);
+        b.push_wait(ThreadId(1), TimeNs(10), TimeNs::ZERO, st);
+        b.push_unwait(ThreadId(2), ThreadId(1), TimeNs(30), st);
+        b.push_hardware(ThreadId(3), TimeNs(12), TimeNs(15), st);
+        ds.streams.push(b.finish().unwrap());
+        ds.instances.push(ScenarioInstance {
+            trace: crate::ids::TraceId(0),
+            scenario: ScenarioName::new("S"),
+            tid: ThreadId(1),
+            t0: TimeNs(0),
+            t1: TimeNs(40),
+        });
+        ds
+    }
+
+    fn round_trip(ds: &Dataset) -> Dataset {
+        let mut buf = Vec::new();
+        ds.write_text(&mut buf).unwrap();
+        Dataset::read_text(BufReader::new(buf.as_slice())).unwrap()
+    }
+
+    #[test]
+    fn round_trips_events_and_metadata() {
+        let ds = tiny();
+        let back = round_trip(&ds);
+        assert_eq!(back.streams.len(), 1);
+        assert_eq!(back.instances, ds.instances);
+        assert_eq!(back.scenarios.len(), 1);
+        assert_eq!(back.scenarios[0].name, ScenarioName::new("S"));
+        let (a, b) = (&ds.streams[0], &back.streams[0]);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.tid, y.tid);
+            assert_eq!(x.pid, y.pid);
+            assert_eq!(x.t, y.t);
+            assert_eq!(x.cost, y.cost);
+            assert_eq!(x.wtid, y.wtid);
+            assert_eq!(
+                ds.stacks.resolve_frames(x.stack),
+                back.stacks.resolve_frames(y.stack)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_tab_in_frame() {
+        let mut ds = Dataset::new();
+        ds.stacks.intern_symbols(&["bad\tframe!X"]);
+        let mut buf = Vec::new();
+        let e = ds.write_text(&mut buf).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "!tracelens\t1\n!stack\tnotanumber\tframe\n";
+        let e = Dataset::read_text(BufReader::new(text.as_bytes())).unwrap_err();
+        match e {
+            ReadError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("stack id"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let text = "!trace\t0\ne\tr\t1\t1\t0\t5\t0\n";
+        assert!(Dataset::read_text(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_event_outside_trace() {
+        let text = "!tracelens\t1\n!stack\t0\ta!b\ne\tr\t1\t1\t0\t5\t0\n";
+        let e = Dataset::read_text(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(e.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn rejects_undeclared_stack() {
+        let text = "!tracelens\t1\n!trace\t0\ne\tr\t1\t1\t0\t5\t9\n";
+        let e = Dataset::read_text(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(e.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_unwait_without_target() {
+        let text = "!tracelens\t1\n!stack\t0\ta!b\n!trace\t0\ne\tu\t1\t1\t0\t0\t0\n";
+        let e = Dataset::read_text(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(e.to_string().contains("wtid"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# hello\n\n!tracelens\t1\n# more\n!trace\t0\n";
+        let ds = Dataset::read_text(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(ds.streams.len(), 1);
+        assert!(ds.streams[0].is_empty());
+    }
+
+    #[test]
+    fn mentions_component_prefilter() {
+        let ds = tiny();
+        assert!(mentions_component(&ds, &ComponentFilter::suffix(".sys")));
+        assert!(!mentions_component(&ds, &ComponentFilter::names(["net.sys"])));
+    }
+}

@@ -1,0 +1,226 @@
+//! Virtual time: integer nanoseconds since trace start.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// The same newtype is used for both instants and durations; the trace
+/// origin is `TimeNs(0)`. Saturating arithmetic is deliberately *not*
+/// provided: overflow in a trace analysis is a logic error and should
+/// panic in debug builds.
+///
+/// ```
+/// use tracelens_model::TimeNs;
+/// let t = TimeNs::from_millis(2) + TimeNs::from_micros(500);
+/// assert_eq!(t.as_nanos(), 2_500_000);
+/// assert_eq!(t.as_millis_f64(), 2.5);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimeNs(pub u64);
+
+impl TimeNs {
+    /// The zero instant / empty duration.
+    pub const ZERO: TimeNs = TimeNs(0);
+    /// The maximum representable time.
+    pub const MAX: TimeNs = TimeNs(u64::MAX);
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeNs(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        TimeNs(us * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeNs(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration from `self` to `later`, or [`TimeNs::ZERO`] if `later`
+    /// precedes `self`.
+    pub fn saturating_span_to(self, later: TimeNs) -> TimeNs {
+        TimeNs(later.0.saturating_sub(self.0))
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, rhs: TimeNs) -> Option<TimeNs> {
+        self.0.checked_sub(rhs.0).map(TimeNs)
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: TimeNs) -> TimeNs {
+        TimeNs(self.0.min(other.0))
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: TimeNs) -> TimeNs {
+        TimeNs(self.0.max(other.0))
+    }
+
+    /// Fraction `self / denom` as an `f64`; returns 0.0 when `denom` is zero.
+    pub fn ratio(self, denom: TimeNs) -> f64 {
+        if denom.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / denom.0 as f64
+        }
+    }
+}
+
+impl fmt::Debug for TimeNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for TimeNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Human scale: pick the largest unit that keeps 3 significant digits.
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for TimeNs {
+    type Output = TimeNs;
+    fn add(self, rhs: TimeNs) -> TimeNs {
+        TimeNs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeNs {
+    fn add_assign(&mut self, rhs: TimeNs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeNs {
+    type Output = TimeNs;
+    fn sub(self, rhs: TimeNs) -> TimeNs {
+        TimeNs(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeNs {
+    fn sub_assign(&mut self, rhs: TimeNs) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for TimeNs {
+    type Output = TimeNs;
+    fn mul(self, rhs: u64) -> TimeNs {
+        TimeNs(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for TimeNs {
+    type Output = TimeNs;
+    fn div(self, rhs: u64) -> TimeNs {
+        TimeNs(self.0 / rhs)
+    }
+}
+
+impl Sum for TimeNs {
+    fn sum<I: Iterator<Item = TimeNs>>(iter: I) -> TimeNs {
+        iter.fold(TimeNs::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for TimeNs {
+    fn from(ns: u64) -> Self {
+        TimeNs(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units() {
+        assert_eq!(TimeNs::from_millis(1), TimeNs(1_000_000));
+        assert_eq!(TimeNs::from_micros(1), TimeNs(1_000));
+        assert_eq!(TimeNs::from_secs(1), TimeNs(1_000_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = TimeNs(100);
+        let b = TimeNs(40);
+        assert_eq!(a + b, TimeNs(140));
+        assert_eq!(a - b, TimeNs(60));
+        assert_eq!(a * 3, TimeNs(300));
+        assert_eq!(a / 4, TimeNs(25));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, TimeNs(140));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_span() {
+        assert_eq!(TimeNs(10).saturating_span_to(TimeNs(25)), TimeNs(15));
+        assert_eq!(TimeNs(25).saturating_span_to(TimeNs(10)), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn checked_sub() {
+        assert_eq!(TimeNs(5).checked_sub(TimeNs(3)), Some(TimeNs(2)));
+        assert_eq!(TimeNs(3).checked_sub(TimeNs(5)), None);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(TimeNs(5).ratio(TimeNs::ZERO), 0.0);
+        assert!((TimeNs(1).ratio(TimeNs(4)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_iter() {
+        let total: TimeNs = [TimeNs(1), TimeNs(2), TimeNs(3)].into_iter().sum();
+        assert_eq!(total, TimeNs(6));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(TimeNs(999).to_string(), "999ns");
+        assert_eq!(TimeNs(1_500).to_string(), "1.500us");
+        assert_eq!(TimeNs(2_500_000).to_string(), "2.500ms");
+        assert_eq!(TimeNs(1_250_000_000).to_string(), "1.250s");
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(TimeNs(3).min(TimeNs(7)), TimeNs(3));
+        assert_eq!(TimeNs(3).max(TimeNs(7)), TimeNs(7));
+    }
+}

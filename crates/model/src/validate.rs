@@ -1,0 +1,277 @@
+//! Data-set integrity validation.
+//!
+//! Analyses assume structural invariants that hold for simulator output
+//! and freshly parsed files but may not for hand-assembled data sets.
+//! [`Dataset::validate`] checks them all and reports every violation.
+
+use crate::dataset::Dataset;
+use crate::event::EventKind;
+use crate::ids::TraceId;
+use std::error::Error;
+use std::fmt;
+
+/// One integrity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `streams[i].id() != i` — streams must be dense and in order so
+    /// `TraceId` can index them.
+    StreamIdMismatch {
+        /// Position in `streams`.
+        index: usize,
+        /// The id found there.
+        found: TraceId,
+    },
+    /// An instance references a trace id with no stream.
+    InstanceWithoutStream {
+        /// Index into `instances`.
+        index: usize,
+        /// The dangling trace id.
+        trace: TraceId,
+    },
+    /// An instance ends before it starts.
+    InstanceNegativeSpan {
+        /// Index into `instances`.
+        index: usize,
+    },
+    /// An instance's scenario has no definition (no thresholds).
+    InstanceUnknownScenario {
+        /// Index into `instances`.
+        index: usize,
+        /// The undefined scenario name.
+        scenario: String,
+    },
+    /// An event references a stack id not present in the stack table.
+    UnknownStack {
+        /// The trace holding the event.
+        trace: TraceId,
+        /// The event's index in the stream.
+        event: usize,
+    },
+    /// Events of a stream are not sorted by timestamp.
+    UnsortedEvents {
+        /// The offending trace.
+        trace: TraceId,
+    },
+    /// A non-unwait event carries a woken-thread id, or an unwait lacks
+    /// one (normally impossible through the builder).
+    MalformedUnwait {
+        /// The trace holding the event.
+        trace: TraceId,
+        /// The event's index in the stream.
+        event: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::StreamIdMismatch { index, found } => {
+                write!(f, "stream at position {index} has id {found}")
+            }
+            Violation::InstanceWithoutStream { index, trace } => {
+                write!(f, "instance {index} references missing {trace}")
+            }
+            Violation::InstanceNegativeSpan { index } => {
+                write!(f, "instance {index} ends before it starts")
+            }
+            Violation::InstanceUnknownScenario { index, scenario } => {
+                write!(f, "instance {index} has undefined scenario {scenario:?}")
+            }
+            Violation::UnknownStack { trace, event } => {
+                write!(f, "event {event} of {trace} references an unknown stack")
+            }
+            Violation::UnsortedEvents { trace } => {
+                write!(f, "{trace} has out-of-order events")
+            }
+            Violation::MalformedUnwait { trace, event } => {
+                write!(f, "event {event} of {trace} has malformed unwait targeting")
+            }
+        }
+    }
+}
+
+/// Error wrapper carrying all violations found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Every violation, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "data set failed validation ({} problems):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ValidationError {}
+
+impl Dataset {
+    /// Checks all structural invariants, returning every violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] listing each problem found; `Ok` if
+    /// the data set is internally consistent.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let mut violations = Vec::new();
+        for (index, stream) in self.streams.iter().enumerate() {
+            if stream.id().0 as usize != index {
+                violations.push(Violation::StreamIdMismatch {
+                    index,
+                    found: stream.id(),
+                });
+            }
+            let mut last = None;
+            for (ei, e) in stream.events().iter().enumerate() {
+                if let Some(prev) = last {
+                    if e.t < prev {
+                        violations.push(Violation::UnsortedEvents { trace: stream.id() });
+                        break;
+                    }
+                }
+                last = Some(e.t);
+                if self.stacks.frames(e.stack).is_empty() && self.stacks.len() <= e.stack.0 as usize
+                {
+                    violations.push(Violation::UnknownStack {
+                        trace: stream.id(),
+                        event: ei,
+                    });
+                }
+                let bad_unwait = match e.kind {
+                    EventKind::Unwait => e.wtid.is_none() || e.wtid == Some(e.tid),
+                    _ => e.wtid.is_some(),
+                };
+                if bad_unwait {
+                    violations.push(Violation::MalformedUnwait {
+                        trace: stream.id(),
+                        event: ei,
+                    });
+                }
+            }
+        }
+        for (index, i) in self.instances.iter().enumerate() {
+            if self.streams.get(i.trace.0 as usize).is_none() {
+                violations.push(Violation::InstanceWithoutStream {
+                    index,
+                    trace: i.trace,
+                });
+            }
+            if i.t1 < i.t0 {
+                violations.push(Violation::InstanceNegativeSpan { index });
+            }
+            if self.scenario(&i.scenario).is_none() {
+                violations.push(Violation::InstanceUnknownScenario {
+                    index,
+                    scenario: i.scenario.as_str().to_owned(),
+                });
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(ValidationError { violations })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ThreadId;
+    use crate::scenario::{Scenario, ScenarioInstance, ScenarioName, Thresholds};
+    use crate::stream::TraceStreamBuilder;
+    use crate::time::TimeNs;
+
+    fn valid() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.scenarios.push(Scenario::new(
+            ScenarioName::new("S"),
+            Thresholds::new(TimeNs(10), TimeNs(20)),
+        ));
+        let st = ds.stacks.intern_symbols(&["a!b"]);
+        let mut b = TraceStreamBuilder::new(0);
+        b.push_running(ThreadId(1), TimeNs(0), TimeNs(5), st);
+        ds.streams.push(b.finish().unwrap());
+        ds.instances.push(ScenarioInstance {
+            trace: TraceId(0),
+            scenario: ScenarioName::new("S"),
+            tid: ThreadId(1),
+            t0: TimeNs(0),
+            t1: TimeNs(5),
+        });
+        ds
+    }
+
+    #[test]
+    fn valid_dataset_passes() {
+        assert!(valid().validate().is_ok());
+    }
+
+    #[test]
+    fn dangling_instance_is_reported() {
+        let mut ds = valid();
+        ds.instances[0].trace = TraceId(7);
+        let err = ds.validate().unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::InstanceWithoutStream { .. })));
+        assert!(err.to_string().contains("trace#7"));
+    }
+
+    #[test]
+    fn negative_span_is_reported() {
+        let mut ds = valid();
+        ds.instances[0].t0 = TimeNs(9);
+        ds.instances[0].t1 = TimeNs(3);
+        let err = ds.validate().unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::InstanceNegativeSpan { .. })));
+    }
+
+    #[test]
+    fn unknown_scenario_is_reported() {
+        let mut ds = valid();
+        ds.scenarios.clear();
+        let err = ds.validate().unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::InstanceUnknownScenario { .. })));
+    }
+
+    #[test]
+    fn stream_id_mismatch_is_reported() {
+        let mut ds = valid();
+        let mut b = TraceStreamBuilder::new(5); // should be 1
+        let st = ds.stacks.intern_symbols(&["a!b"]);
+        b.push_running(ThreadId(1), TimeNs(0), TimeNs(1), st);
+        ds.streams.push(b.finish().unwrap());
+        let err = ds.validate().unwrap_err();
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::StreamIdMismatch { index: 1, .. })));
+    }
+
+    #[test]
+    fn multiple_violations_accumulate() {
+        let mut ds = valid();
+        ds.instances[0].trace = TraceId(7);
+        ds.instances.push(ScenarioInstance {
+            trace: TraceId(0),
+            scenario: ScenarioName::new("Unknown"),
+            tid: ThreadId(1),
+            t0: TimeNs(5),
+            t1: TimeNs(1),
+        });
+        let err = ds.validate().unwrap_err();
+        assert!(err.violations.len() >= 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the trace model.
+
+use proptest::prelude::*;
+use tracelens_model::{
+    ComponentFilter, Interner, Signature, StackTable, ThreadId, Thresholds, TimeNs,
+    TraceStreamBuilder,
+};
+
+/// Reference glob matcher: simple recursive semantics of `*`.
+fn glob_ref(pattern: &[char], text: &[char]) -> bool {
+    match pattern.split_first() {
+        None => text.is_empty(),
+        Some(('*', rest)) => {
+            (0..=text.len()).any(|i| glob_ref(rest, &text[i..]))
+        }
+        Some((&c, rest)) => text.first() == Some(&c) && glob_ref(rest, &text[1..]),
+    }
+}
+
+proptest! {
+    #[test]
+    fn glob_matches_reference(pattern in "[a-c*]{0,8}", text in "[a-c]{0,8}") {
+        let expected = glob_ref(
+            &pattern.chars().collect::<Vec<_>>(),
+            &text.chars().collect::<Vec<_>>(),
+        );
+        let got = ComponentFilter::glob(&pattern).matches(&text);
+        prop_assert_eq!(got, expected, "pattern={} text={}", pattern, text);
+    }
+
+    #[test]
+    fn glob_literal_matches_itself(text in "[a-z.!]{1,12}") {
+        prop_assert!(ComponentFilter::glob(&text).matches(&text));
+    }
+
+    #[test]
+    fn suffix_filter_matches_any_prefix(prefix in "[a-z]{0,8}", suffix in "[a-z.]{1,6}") {
+        let f = ComponentFilter::suffix(&suffix);
+        let module = format!("{prefix}{suffix}");
+        prop_assert!(f.matches(&module));
+    }
+
+    #[test]
+    fn time_arithmetic_round_trips(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let (ta, tb) = (TimeNs(a), TimeNs(b));
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert_eq!(ta.min(tb) + ta.max(tb), ta + tb);
+        prop_assert_eq!(ta.saturating_span_to(tb), tb.checked_sub(ta).unwrap_or(TimeNs::ZERO));
+        if b > 0 {
+            let r = ta.ratio(tb);
+            prop_assert!(r >= 0.0);
+            if a <= b { prop_assert!(r <= 1.0 + 1e-12); }
+        }
+    }
+
+    #[test]
+    fn interner_round_trips(words in prop::collection::vec("[a-z!.]{1,10}", 0..20)) {
+        let mut i = Interner::new();
+        let syms: Vec<_> = words.iter().map(|w| i.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            prop_assert_eq!(i.resolve(*s), Some(w.as_str()));
+            prop_assert_eq!(i.lookup(w), Some(*s));
+        }
+        let distinct: std::collections::HashSet<_> = words.iter().collect();
+        prop_assert_eq!(i.len(), distinct.len());
+    }
+
+    #[test]
+    fn signature_parse_round_trips(m in "[a-z]{1,6}(\\.sys)?", f in "[A-Za-z]{1,10}") {
+        let text = format!("{m}!{f}");
+        let sig: Signature = text.parse().unwrap();
+        prop_assert_eq!(sig.module(), m.as_str());
+        prop_assert_eq!(sig.function(), f.as_str());
+        prop_assert_eq!(sig.to_string(), text);
+    }
+
+    #[test]
+    fn thresholds_classify_is_consistent(fast in 1u64..1000, gap in 1u64..1000, d in 0u64..3000) {
+        let th = Thresholds::new(TimeNs(fast), TimeNs(fast + gap));
+        match th.classify(TimeNs(d)) {
+            Some(true) => prop_assert!(d < fast),
+            Some(false) => prop_assert!(d > fast + gap),
+            None => prop_assert!(d >= fast && d <= fast + gap),
+        }
+    }
+
+    #[test]
+    fn stream_builder_sorts_events(times in prop::collection::vec(0u64..10_000, 1..40)) {
+        let mut stacks = StackTable::new();
+        let s = stacks.intern_symbols(&["a!b"]);
+        let mut b = TraceStreamBuilder::new(0);
+        for &t in &times {
+            b.push_running(ThreadId(1), TimeNs(t), TimeNs(1), s);
+        }
+        let ts = b.finish().unwrap();
+        prop_assert_eq!(ts.len(), times.len());
+        for w in ts.events().windows(2) {
+            prop_assert!(w[0].t <= w[1].t);
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let got: Vec<u64> = ts.events().iter().map(|e| e.t.0).collect();
+        prop_assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn top_component_symbol_is_a_matching_frame(
+        frames in prop::collection::vec("([a-z]{1,4}\\.sys|app|kernel)!F", 1..8)
+    ) {
+        let mut stacks = StackTable::new();
+        let refs: Vec<&str> = frames.iter().map(String::as_str).collect();
+        let id = stacks.intern_symbols(&refs);
+        let filter = ComponentFilter::suffix(".sys");
+        match stacks.top_component_symbol(id, &filter) {
+            Some(sym) => {
+                let text = stacks.symbols().resolve(sym).unwrap();
+                prop_assert!(frames.iter().any(|f| f == text));
+                prop_assert!(text.contains(".sys!"));
+                // It is the innermost matching frame.
+                let last_match = frames.iter().rev().find(|f| f.contains(".sys!")).unwrap();
+                prop_assert_eq!(text, last_match.as_str());
+            }
+            None => prop_assert!(frames.iter().all(|f| !f.contains(".sys!"))),
+        }
+        prop_assert_eq!(
+            stacks.contains_component(id, &filter),
+            frames.iter().any(|f| f.contains(".sys!"))
+        );
+    }
+}

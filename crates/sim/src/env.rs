@@ -1,0 +1,162 @@
+//! The canonical simulated driver ecosystem.
+//!
+//! [`Env`] registers, on a [`Machine`], the shared kernel locks and
+//! hardware devices that the eight scenario generators contend over, and
+//! names the driver modules/functions used on callstacks. Driver module
+//! names follow the taxonomy of
+//! [`tracelens_model::DriverType::classify`]: `fs.sys`, `fv.sys`,
+//! `av.sys`, `net.sys`, `se.sys`, `dp.sys`, `graphics.sys`, `bk.sys`,
+//! `iocache.sys`, `mouse.sys`, `acpi.sys`.
+
+use crate::engine::{DeviceSpec, Machine};
+use crate::program::{DeviceId, LockId};
+
+/// Well-known driver function signatures used by the scenario generators.
+///
+/// Centralizing them keeps callstacks consistent across scenarios so the
+/// causality analysis can aggregate behaviors by signature.
+pub mod sig {
+    /// File-system driver: acquires a Meta Data Unit lock.
+    pub const FS_ACQUIRE_MDU: &str = "fs.sys!AcquireMDU";
+    /// File-system driver: reads file data.
+    pub const FS_READ: &str = "fs.sys!Read";
+    /// File-system driver: writes file data.
+    pub const FS_WRITE: &str = "fs.sys!Write";
+    /// File-virtualization filter driver: queries the File Table.
+    pub const FV_QUERY_FILE_TABLE: &str = "fv.sys!QueryFileTable";
+    /// Anti-virus filter driver: inspects an application request.
+    pub const AV_INSPECT: &str = "av.sys!InspectRequest";
+    /// Anti-virus filter driver: scans file contents.
+    pub const AV_SCAN: &str = "av.sys!ScanFile";
+    /// Network driver: sends a request.
+    pub const NET_SEND: &str = "net.sys!Send";
+    /// Network driver: receives a response.
+    pub const NET_RECEIVE: &str = "net.sys!Receive";
+    /// Network driver: resolves a name.
+    pub const NET_QUERY_DNS: &str = "net.sys!QueryDns";
+    /// Storage-encryption driver: reads and decrypts.
+    pub const SE_READ_DECRYPT: &str = "se.sys!ReadDecrypt";
+    /// Storage-encryption driver: encrypts and writes.
+    pub const SE_WRITE_ENCRYPT: &str = "se.sys!WriteEncrypt";
+    /// Disk-protection driver: halts I/O while motion is detected.
+    pub const DP_HALT_IO: &str = "dp.sys!HaltIo";
+    /// Graphics driver: acquires GPU resources.
+    pub const GFX_ACQUIRE_GPU: &str = "graphics.sys!AcquireGpu";
+    /// Graphics driver: initializes an internal structure (the hard-fault
+    /// site of the paper's §5.2.4 case).
+    pub const GFX_INIT_STRUCT: &str = "graphics.sys!InitStruct";
+    /// Graphics driver: renders.
+    pub const GFX_RENDER: &str = "graphics.sys!Render";
+    /// Backup driver: snapshots a storage region.
+    pub const BK_SNAPSHOT: &str = "bk.sys!SnapshotRegion";
+    /// I/O-cache driver: looks up the block cache.
+    pub const IOC_LOOKUP: &str = "iocache.sys!LookupCache";
+    /// I/O-cache driver: flushes the block cache.
+    pub const IOC_FLUSH: &str = "iocache.sys!FlushCache";
+    /// Mouse driver: processes input.
+    pub const MOUSE_INPUT: &str = "mouse.sys!ProcessInput";
+    /// ACPI driver: performs a power transition.
+    pub const ACPI_POWER: &str = "acpi.sys!PowerTransition";
+    /// Kernel: opens a file (non-driver frame).
+    pub const K_OPEN_FILE: &str = "kernel!OpenFile";
+    /// Kernel: creates a file (non-driver frame).
+    pub const K_CREATE_FILE: &str = "kernel!CreateFile";
+    /// Kernel: dispatches an I/O request to a driver stack.
+    pub const K_CALL_DRIVER: &str = "kernel!IoCallDriver";
+}
+
+/// Shared lock and device handles registered on a machine.
+#[derive(Debug, Clone, Copy)]
+pub struct Env {
+    /// File Table lock of the virtualization filter (`fv.sys`).
+    pub file_table: LockId,
+    /// Meta Data Unit lock of the file system (`fs.sys`).
+    pub mdu: LockId,
+    /// Anti-virus inspection database lock (`av.sys`).
+    pub av_db: LockId,
+    /// Network request queue lock (`net.sys`).
+    pub net_queue: LockId,
+    /// GPU resource lock (`graphics.sys`).
+    pub gpu_res: LockId,
+    /// Block-cache lock (`iocache.sys`).
+    pub cache: LockId,
+    /// An application-level (non-driver) lock, for app-only contention.
+    pub app: LockId,
+    /// The disk device.
+    pub disk: DeviceId,
+    /// The network device.
+    pub net: DeviceId,
+    /// The GPU device.
+    pub gpu: DeviceId,
+}
+
+impl Env {
+    /// Registers the standard locks and devices on `machine`.
+    pub fn install(machine: &mut Machine) -> Env {
+        Env {
+            file_table: machine.add_lock(),
+            mdu: machine.add_lock(),
+            av_db: machine.add_lock(),
+            net_queue: machine.add_lock(),
+            gpu_res: machine.add_lock(),
+            cache: machine.add_lock(),
+            app: machine.add_lock(),
+            disk: machine.add_device(DeviceSpec::new("disk", "DiskService!Transfer")),
+            net: machine.add_device(DeviceSpec::new("network", "NetworkService!Transfer")),
+            gpu: machine.add_device(DeviceSpec::new("gpu", "GpuService!Render")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::DriverType;
+
+    #[test]
+    fn install_registers_distinct_handles() {
+        let mut m = Machine::new(0);
+        let env = Env::install(&mut m);
+        let locks = [
+            env.file_table,
+            env.mdu,
+            env.av_db,
+            env.net_queue,
+            env.gpu_res,
+            env.cache,
+            env.app,
+        ];
+        let distinct: std::collections::HashSet<_> = locks.iter().collect();
+        assert_eq!(distinct.len(), locks.len());
+        assert_ne!(env.disk, env.net);
+        assert_ne!(env.net, env.gpu);
+    }
+
+    #[test]
+    fn signature_modules_classify_as_expected() {
+        for (s, ty) in [
+            (sig::FS_ACQUIRE_MDU, DriverType::FileSystemGeneralStorage),
+            (sig::FV_QUERY_FILE_TABLE, DriverType::FileSystemFilter),
+            (sig::AV_SCAN, DriverType::FileSystemFilter),
+            (sig::NET_SEND, DriverType::Network),
+            (sig::SE_READ_DECRYPT, DriverType::StorageEncryption),
+            (sig::DP_HALT_IO, DriverType::DiskProtection),
+            (sig::GFX_ACQUIRE_GPU, DriverType::Graphics),
+            (sig::BK_SNAPSHOT, DriverType::StorageBackup),
+            (sig::IOC_LOOKUP, DriverType::IoCache),
+            (sig::MOUSE_INPUT, DriverType::Mouse),
+            (sig::ACPI_POWER, DriverType::Acpi),
+        ] {
+            let module = tracelens_model::Signature::module_of(s).unwrap();
+            assert_eq!(DriverType::classify(module), Some(ty), "module {module}");
+        }
+    }
+
+    #[test]
+    fn kernel_frames_are_not_drivers() {
+        for s in [sig::K_OPEN_FILE, sig::K_CREATE_FILE, sig::K_CALL_DRIVER] {
+            let module = tracelens_model::Signature::module_of(s).unwrap();
+            assert_eq!(DriverType::classify(module), None);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # tracelens-sim
+//!
+//! A deterministic discrete-event simulator of an OS/driver ecosystem that
+//! emits ETW-shaped trace streams — the synthetic substitute for the
+//! paper's 19,500 real-world traces (see `DESIGN.md` §2).
+//!
+//! The layers:
+//!
+//! * [`Machine`] + [`Program`] — the engine: threads, FIFO kernel locks,
+//!   single-server hardware devices, and the four tracing event types.
+//! * [`mod@env`] — the canonical driver ecosystem: driver names/functions for
+//!   the ten Table-4 driver types, shared lock and device handles.
+//! * [`scenarios`] — generators for the paper's eight evaluation
+//!   scenarios, each mixing fast paths with injected cost-propagation
+//!   problems.
+//! * [`DatasetBuilder`] — assembles many traces into a
+//!   [`tracelens_model::Dataset`].
+//!
+//! ## Example
+//!
+//! ```
+//! use tracelens_sim::DatasetBuilder;
+//! let ds = DatasetBuilder::new(42).traces(5).build();
+//! assert_eq!(ds.streams.len(), 5);
+//! assert!(ds.instances.len() >= 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod env;
+mod program;
+mod rng;
+pub mod scenarios;
+pub mod script;
+mod workload;
+
+pub use engine::{
+    DeviceSpec, Machine, SimError, SimOutput, ThreadSpec, FRAME_ACQUIRE, FRAME_RELEASE,
+    FRAME_WAIT_OBJECT, FRAME_WORKER,
+};
+pub use program::{CondId, DeviceId, HwRequest, LockId, Op, Program, ProgramBuilder, ProgramError};
+pub use rng::SimRng;
+pub use workload::{DatasetBuilder, ScenarioMix};

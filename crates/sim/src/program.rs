@@ -1,0 +1,408 @@
+//! Thread programs: the op sequences simulated threads execute.
+
+use std::error::Error;
+use std::fmt;
+use tracelens_model::TimeNs;
+
+/// Identifier of a simulated kernel lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+/// Identifier of a simulated hardware device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u32);
+
+/// Identifier of a simulated one-shot event object (a manual-reset
+/// event in Windows terms): threads [`Op::Await`] it; a single
+/// [`Op::Notify`] wakes all current and future awaiters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CondId(pub u32);
+
+/// A blocking hardware request (a system-service call in the paper's
+/// terms: `fs.sys` asking the storage stack to read a block).
+///
+/// The requesting thread waits; the device's system worker thread serves
+/// the request (emitting a hardware-service event), optionally performs
+/// post-processing on the CPU under `post_frames` (e.g. decryption in
+/// `se.sys!ReadDecrypt`), and then unwaits the requester.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwRequest {
+    /// Which device serves the request.
+    pub device: DeviceId,
+    /// Raw hardware service time.
+    pub service: TimeNs,
+    /// Frames pushed on the device worker while post-processing.
+    pub post_frames: Vec<String>,
+    /// CPU time of the post-processing step (zero for none).
+    pub post_compute: TimeNs,
+}
+
+impl HwRequest {
+    /// A plain request with no post-processing.
+    pub fn plain(device: DeviceId, service: TimeNs) -> Self {
+        HwRequest {
+            device,
+            service,
+            post_frames: Vec::new(),
+            post_compute: TimeNs::ZERO,
+        }
+    }
+}
+
+/// One step of a thread program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Push a callstack frame (enter a function).
+    Call(String),
+    /// Pop the innermost frame (return).
+    Ret,
+    /// Execute on the CPU for the given duration (emits running samples).
+    Compute(TimeNs),
+    /// Acquire a lock exclusively, blocking (and emitting a wait event)
+    /// if held in any mode.
+    Acquire(LockId),
+    /// Acquire a lock in shared (reader) mode: compatible with other
+    /// shared holders, blocked by an exclusive holder or any queued
+    /// waiter (strict FIFO — writers never starve), as in a Windows
+    /// `ERESOURCE`.
+    AcquireShared(LockId),
+    /// Release a lock, waking the next FIFO waiter if any.
+    Release(LockId),
+    /// Issue a blocking hardware request.
+    Request(HwRequest),
+    /// Block (emitting a wait event) until the event object is notified;
+    /// a no-op if it already was. Models completion waits: a UI thread
+    /// awaiting its worker.
+    Await(CondId),
+    /// Notify an event object, waking all its awaiters (emitting an
+    /// unwait event per woken thread).
+    Notify(CondId),
+    /// Advance virtual time without CPU usage or tracing events
+    /// (models a timer sleep; used to stagger thread activity).
+    Idle(TimeNs),
+}
+
+/// Validation failures for a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A `Ret` op with no frame to pop.
+    RetUnderflow {
+        /// Op index of the offending `Ret`.
+        index: usize,
+    },
+    /// Acquiring a lock this thread already holds.
+    Reacquire {
+        /// Op index of the offending `Acquire`.
+        index: usize,
+        /// The lock in question.
+        lock: LockId,
+    },
+    /// Releasing a lock this thread does not hold.
+    ReleaseUnheld {
+        /// Op index of the offending `Release`.
+        index: usize,
+        /// The lock in question.
+        lock: LockId,
+    },
+    /// The program ends while still holding locks.
+    LeakedLocks {
+        /// The locks never released.
+        locks: Vec<LockId>,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::RetUnderflow { index } => {
+                write!(f, "ret at op {index} pops an empty callstack")
+            }
+            ProgramError::Reacquire { index, lock } => {
+                write!(f, "op {index} re-acquires already-held lock {lock:?}")
+            }
+            ProgramError::ReleaseUnheld { index, lock } => {
+                write!(f, "op {index} releases unheld lock {lock:?}")
+            }
+            ProgramError::LeakedLocks { locks } => {
+                write!(f, "program ends still holding {locks:?}")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// A validated, ready-to-simulate op sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// The ops, in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total CPU time the program will consume (sum of `Compute` ops;
+    /// hardware post-processing is attributed to device workers).
+    pub fn cpu_time(&self) -> TimeNs {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(d) => *d,
+                _ => TimeNs::ZERO,
+            })
+            .sum()
+    }
+
+    /// A lower bound on the program's wall-clock duration assuming no
+    /// contention: compute + idle + raw hardware service + post-compute.
+    pub fn uncontended_time(&self) -> TimeNs {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(d) | Op::Idle(d) => *d,
+                Op::Request(r) => r.service + r.post_compute,
+                _ => TimeNs::ZERO,
+            })
+            .sum()
+    }
+}
+
+/// Builder assembling a [`Program`] with call/return structure.
+///
+/// ```
+/// use tracelens_sim::{LockId, ProgramBuilder};
+/// use tracelens_model::TimeNs;
+/// let p = ProgramBuilder::new("Browser!TabCreate")
+///     .call("kernel!OpenFile")
+///     .call("fv.sys!QueryFileTable")
+///     .acquire(LockId(0))
+///     .compute(TimeNs::from_millis(2))
+///     .release(LockId(0))
+///     .ret()
+///     .ret()
+///     .build()?;
+/// assert_eq!(p.cpu_time(), TimeNs::from_millis(2));
+/// # Ok::<(), tracelens_sim::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program whose outermost frame is `root` (the thread entry
+    /// point, e.g. `Browser!TabCreate`).
+    pub fn new(root: &str) -> Self {
+        ProgramBuilder {
+            ops: vec![Op::Call(root.to_owned())],
+        }
+    }
+
+    /// Starts a program with no initial frame.
+    pub fn bare() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Enters a function (pushes a frame).
+    pub fn call(mut self, frame: &str) -> Self {
+        self.ops.push(Op::Call(frame.to_owned()));
+        self
+    }
+
+    /// Returns from the innermost function.
+    pub fn ret(mut self) -> Self {
+        self.ops.push(Op::Ret);
+        self
+    }
+
+    /// Runs on the CPU for `d`.
+    pub fn compute(mut self, d: TimeNs) -> Self {
+        self.ops.push(Op::Compute(d));
+        self
+    }
+
+    /// Acquires `lock` exclusively (FIFO; blocks if held).
+    pub fn acquire(mut self, lock: LockId) -> Self {
+        self.ops.push(Op::Acquire(lock));
+        self
+    }
+
+    /// Acquires `lock` in shared (reader) mode.
+    pub fn acquire_shared(mut self, lock: LockId) -> Self {
+        self.ops.push(Op::AcquireShared(lock));
+        self
+    }
+
+    /// Releases `lock`.
+    pub fn release(mut self, lock: LockId) -> Self {
+        self.ops.push(Op::Release(lock));
+        self
+    }
+
+    /// Issues a blocking hardware request.
+    pub fn request(mut self, req: HwRequest) -> Self {
+        self.ops.push(Op::Request(req));
+        self
+    }
+
+    /// Blocks until `cond` is notified.
+    pub fn await_cond(mut self, cond: CondId) -> Self {
+        self.ops.push(Op::Await(cond));
+        self
+    }
+
+    /// Notifies `cond`, waking all awaiters.
+    pub fn notify(mut self, cond: CondId) -> Self {
+        self.ops.push(Op::Notify(cond));
+        self
+    }
+
+    /// Sleeps without consuming CPU.
+    pub fn idle(mut self, d: TimeNs) -> Self {
+        self.ops.push(Op::Idle(d));
+        self
+    }
+
+    /// Appends all ops of another builder (a program fragment).
+    pub fn splice(mut self, fragment: ProgramBuilder) -> Self {
+        self.ops.extend(fragment.ops);
+        self
+    }
+
+    /// Validates the op sequence and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] for callstack underflow, lock
+    /// re-acquisition, releasing an unheld lock, or leaking locks at end.
+    pub fn build(self) -> Result<Program, ProgramError> {
+        let mut depth: usize = 0;
+        let mut held: Vec<LockId> = Vec::new();
+        for (index, op) in self.ops.iter().enumerate() {
+            match op {
+                Op::Call(_) => depth += 1,
+                Op::Ret => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or(ProgramError::RetUnderflow { index })?;
+                }
+                Op::Acquire(l) | Op::AcquireShared(l) => {
+                    if held.contains(l) {
+                        return Err(ProgramError::Reacquire { index, lock: *l });
+                    }
+                    held.push(*l);
+                }
+                Op::Release(l) => {
+                    let pos = held
+                        .iter()
+                        .position(|h| h == l)
+                        .ok_or(ProgramError::ReleaseUnheld { index, lock: *l })?;
+                    held.remove(pos);
+                }
+                Op::Compute(_) | Op::Request(_) | Op::Idle(_) | Op::Await(_) | Op::Notify(_) => {}
+            }
+        }
+        if !held.is_empty() {
+            return Err(ProgramError::LeakedLocks { locks: held });
+        }
+        Ok(Program { ops: self.ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    #[test]
+    fn builder_produces_expected_ops() {
+        let p = ProgramBuilder::new("a!b")
+            .compute(ms(1))
+            .call("c!d")
+            .ret()
+            .build()
+            .unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(matches!(p.ops()[0], Op::Call(ref f) if f == "a!b"));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn cpu_and_uncontended_time() {
+        let p = ProgramBuilder::new("a!b")
+            .compute(ms(2))
+            .idle(ms(3))
+            .request(HwRequest {
+                device: DeviceId(0),
+                service: ms(5),
+                post_frames: vec!["se.sys!ReadDecrypt".into()],
+                post_compute: ms(4),
+            })
+            .build()
+            .unwrap();
+        assert_eq!(p.cpu_time(), ms(2));
+        assert_eq!(p.uncontended_time(), ms(14));
+    }
+
+    #[test]
+    fn validation_ret_underflow() {
+        let err = ProgramBuilder::bare().ret().build().unwrap_err();
+        assert_eq!(err, ProgramError::RetUnderflow { index: 0 });
+        assert!(err.to_string().contains("empty callstack"));
+    }
+
+    #[test]
+    fn validation_lock_errors() {
+        let l = LockId(1);
+        let err = ProgramBuilder::bare().acquire(l).acquire(l).build().unwrap_err();
+        assert_eq!(err, ProgramError::Reacquire { index: 1, lock: l });
+
+        let err = ProgramBuilder::bare().release(l).build().unwrap_err();
+        assert_eq!(err, ProgramError::ReleaseUnheld { index: 0, lock: l });
+
+        let err = ProgramBuilder::bare().acquire(l).build().unwrap_err();
+        assert_eq!(err, ProgramError::LeakedLocks { locks: vec![l] });
+    }
+
+    #[test]
+    fn nested_locks_are_legal() {
+        let (a, b) = (LockId(1), LockId(2));
+        assert!(ProgramBuilder::bare()
+            .acquire(a)
+            .acquire(b)
+            .release(b)
+            .release(a)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn splice_concatenates() {
+        let frag = ProgramBuilder::bare().compute(ms(1));
+        let p = ProgramBuilder::new("r!r").splice(frag).build().unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn plain_request_has_no_post() {
+        let r = HwRequest::plain(DeviceId(3), ms(7));
+        assert_eq!(r.post_compute, TimeNs::ZERO);
+        assert!(r.post_frames.is_empty());
+    }
+}

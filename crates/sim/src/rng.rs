@@ -1,0 +1,178 @@
+//! Seeded randomness and service-time distributions.
+//!
+//! The simulator is fully deterministic for a given seed: every workload,
+//! trace, and experiment can be regenerated bit-for-bit. Distributions are
+//! implemented here directly (inverse-CDF exponential, Box–Muller
+//! lognormal) so the only external dependency is `rand`'s `SmallRng`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tracelens_model::TimeNs;
+
+/// Deterministic random source for the simulator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give every trace
+    /// and scenario instance its own stream so changes to one workload do
+    /// not perturb another.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.gen())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn int_in(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Picks an index in `[0, n)`; `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "index() over an empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform time in `[lo, hi]`.
+    pub fn time_in(&mut self, lo: TimeNs, hi: TimeNs) -> TimeNs {
+        TimeNs(self.int_in(lo.0, hi.0))
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    pub fn exp_time(&mut self, mean: TimeNs) -> TimeNs {
+        let u = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let x = -(u.ln()) * mean.0 as f64;
+        TimeNs(x.min(u64::MAX as f64 / 2.0) as u64)
+    }
+
+    /// Standard normal variate (Box–Muller).
+    fn std_normal(&mut self) -> f64 {
+        let u1 = self.unit().max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Lognormal variate parameterized by its *median* and the shape
+    /// parameter `sigma` (σ of the underlying normal). Heavy-tailed for
+    /// σ ≳ 1 — a good model for disk and network service times.
+    pub fn lognormal_time(&mut self, median: TimeNs, sigma: f64) -> TimeNs {
+        let z = self.std_normal();
+        let x = median.0 as f64 * (sigma * z).exp();
+        TimeNs(x.clamp(0.0, u64::MAX as f64 / 2.0) as u64)
+    }
+
+    /// A duration jittered uniformly within `±frac` of `base` (e.g.
+    /// `jitter(t, 0.2)` returns a value in `[0.8·t, 1.2·t]`).
+    pub fn jitter(&mut self, base: TimeNs, frac: f64) -> TimeNs {
+        let f = 1.0 + frac * (2.0 * self.unit() - 1.0);
+        TimeNs((base.0 as f64 * f).max(0.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.int_in(0, 1_000_000), b.int_in(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn forks_diverge() {
+        let mut root = SimRng::seed_from(1);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        let same = (0..32).filter(|_| a.int_in(0, u64::MAX) == b.int_in(0, u64::MAX)).count();
+        assert!(same < 4, "forked streams should differ");
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn int_in_inclusive_bounds() {
+        let mut r = SimRng::seed_from(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.int_in(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+        assert_eq!(r.int_in(9, 9), 9);
+        assert_eq!(r.int_in(9, 2), 9); // degenerate range returns lo
+    }
+
+    #[test]
+    fn exp_time_has_roughly_right_mean() {
+        let mut r = SimRng::seed_from(11);
+        let mean = TimeNs::from_millis(10);
+        let n = 20_000u64;
+        let total: u128 = (0..n).map(|_| r.exp_time(mean).0 as u128).sum();
+        let avg = (total / n as u128) as f64;
+        let expected = mean.0 as f64;
+        assert!((avg - expected).abs() / expected < 0.05, "avg={avg}");
+    }
+
+    #[test]
+    fn lognormal_median_roughly_right() {
+        let mut r = SimRng::seed_from(13);
+        let median = TimeNs::from_millis(5);
+        let mut xs: Vec<u64> = (0..10_001).map(|_| r.lognormal_time(median, 1.0).0).collect();
+        xs.sort_unstable();
+        let med = xs[xs.len() / 2] as f64;
+        let expected = median.0 as f64;
+        assert!((med - expected).abs() / expected < 0.1, "median={med}");
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let mut r = SimRng::seed_from(17);
+        let base = TimeNs(1_000_000);
+        for _ in 0..1000 {
+            let v = r.jitter(base, 0.25);
+            assert!(v.0 >= 750_000 && v.0 <= 1_250_000, "v={v:?}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(19);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

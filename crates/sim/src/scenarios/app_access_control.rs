@@ -1,0 +1,151 @@
+//! `AppAccessControl` — an application opens an access-controlled
+//! resource; security software intercepts the request.
+//!
+//! Dominated by file-system and filter drivers (Table 4: 9 + 9 of the
+//! top-10 patterns): the anti-virus filter serializes inspections on a
+//! single database lock, and metadata accesses contend on the MDU lock.
+
+use super::common::{self, ms, pid};
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::{HwRequest, ProgramBuilder};
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// Scenario name.
+pub const NAME: &str = "AppAccessControl";
+
+/// Thresholds: fast < 200 ms, slow > 400 ms.
+pub fn thresholds() -> Thresholds {
+    Thresholds::new(ms(200), ms(400))
+}
+
+/// Adds one instance to the machine; returns the initiating thread id.
+pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+    common::ambient_noise(m, env, rng, start);
+    let roll = rng.unit();
+    if roll < 0.30 {
+        // The AV database lock is pinned behind a scan that reads
+        // encrypted storage.
+        let service = rng.time_in(ms(200), ms(550));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::ANTIVIRUS,
+            "av!Worker",
+            &[sig::K_OPEN_FILE, sig::AV_SCAN],
+            env.av_db,
+            HwRequest {
+                device: env.disk,
+                service,
+                post_frames: vec![sig::SE_READ_DECRYPT.to_owned()],
+                post_compute: TimeNs((service.0 as f64 * 0.15) as u64),
+            },
+        );
+        common::spawn_queuer(
+            m,
+            rng,
+            start + ms(1),
+            pid::ANTIVIRUS,
+            "av!Worker",
+            &[sig::K_OPEN_FILE, sig::AV_INSPECT],
+            env.av_db,
+        );
+    } else if roll < 0.50 {
+        // MDU pinned behind an encrypted metadata read.
+        let service = rng.time_in(ms(200), ms(500));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::CONFIG_MGR,
+            "cm!Worker",
+            &[sig::K_OPEN_FILE, sig::FS_ACQUIRE_MDU],
+            env.mdu,
+            HwRequest {
+                device: env.disk,
+                service,
+                post_frames: vec![sig::SE_READ_DECRYPT.to_owned()],
+                post_compute: TimeNs((service.0 as f64 * 0.12) as u64),
+            },
+        );
+        common::spawn_queuer(
+            m,
+            rng,
+            start + ms(1),
+            pid::ANTIVIRUS,
+            "av!Worker",
+            &[sig::K_OPEN_FILE, sig::FS_ACQUIRE_MDU],
+            env.mdu,
+        );
+    } else if roll < 0.55 {
+        // Block-cache flush pins the cache lock while writing back.
+        let service = rng.time_in(ms(150), ms(400));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "system!Worker",
+            &[sig::IOC_FLUSH],
+            env.cache,
+            HwRequest::plain(env.disk, service),
+        );
+    }
+
+    let mut b = ProgramBuilder::new("app!OpenResource");
+    b = common::app_compute(b, rng, 15, 40);
+    b = common::app_critical_section(b, env, rng);
+    // The access-control inspection.
+    b = b
+        .call(sig::K_OPEN_FILE)
+        .call(sig::AV_INSPECT)
+        .acquire(env.av_db)
+        .compute(rng.time_in(ms(1), ms(2)))
+        .release(env.av_db)
+        .ret()
+        .ret();
+    b = common::mdu_access(b, env, rng);
+    if rng.chance(0.25) {
+        b = b
+            .call(sig::IOC_LOOKUP)
+            .acquire(env.cache)
+            .compute(ms(1))
+            .release(env.cache)
+            .ret();
+    }
+    if rng.chance(0.4) {
+        b = common::direct_disk_read(b, env, rng, 4, 0.6);
+    }
+    b = common::app_compute(b, rng, 15, 30);
+    let program = b.build().expect("AppAccessControl program is well-formed");
+    m.add_thread(pid::APP, start + rng.time_in(ms(4), ms(7)), program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::StackTable;
+
+    #[test]
+    fn instances_complete_and_split_into_classes() {
+        let mut rng = SimRng::seed_from(5);
+        let th = thresholds();
+        let (mut fast, mut slow) = (0, 0);
+        for i in 0..60 {
+            let mut m = Machine::new(i);
+            let env = Env::install(&mut m);
+            let tid = build(&mut m, &env, &mut rng, TimeNs::ZERO);
+            let mut stacks = StackTable::new();
+            let out = m.run(&mut stacks).unwrap();
+            let (t0, t1) = out.span_of(tid).unwrap();
+            match th.classify(t0.saturating_span_to(t1)) {
+                Some(true) => fast += 1,
+                Some(false) => slow += 1,
+                None => {}
+            }
+        }
+        assert!(fast >= 5 && slow >= 5, "fast={fast} slow={slow}");
+    }
+}

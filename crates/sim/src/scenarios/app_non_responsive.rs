@@ -1,0 +1,157 @@
+//! `AppNonResponsive` — a foreground application stops responding.
+//!
+//! Includes the paper's §5.2.4 hard-fault case: the UI thread waits for
+//! GPU resources held by a system worker in `graphics.sys`, which takes a
+//! hard fault whose page read goes through `fs.sys` and `se.sys` on
+//! encrypted storage — drivers that "should not interact" in normal runs.
+
+use super::common::{self, ms, pid};
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::{HwRequest, ProgramBuilder};
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// Scenario name.
+pub const NAME: &str = "AppNonResponsive";
+
+/// Thresholds: fast < 400 ms, slow > 900 ms.
+pub fn thresholds() -> Thresholds {
+    Thresholds::new(ms(400), ms(900))
+}
+
+/// Adds one instance to the machine; returns the initiating thread id.
+pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+    common::ambient_noise(m, env, rng, start);
+    let roll = rng.unit();
+    if roll < 0.35 {
+        // The hard-fault case: graphics.sys initializes an internal
+        // structure under the GPU lock; the touched page must be read
+        // back from encrypted storage.
+        let service = rng.time_in(ms(800), ms(3000));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "system!Worker",
+            &[sig::GFX_INIT_STRUCT, sig::FS_READ],
+            env.gpu_res,
+            HwRequest {
+                device: env.disk,
+                service,
+                post_frames: vec![sig::SE_READ_DECRYPT.to_owned()],
+                post_compute: TimeNs((service.0 as f64 * 0.1) as u64),
+            },
+        );
+    } else if roll < 0.50 {
+        common::spawn_fig1_chain(m, env, rng, start, (400, 1200));
+    } else if roll < 0.55 {
+        // Disk protection halts I/O: the MDU holder stalls on a disk
+        // request that dp.sys is deliberately delaying.
+        let service = rng.time_in(ms(500), ms(1500));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "system!Worker",
+            &[sig::FS_ACQUIRE_MDU, sig::DP_HALT_IO],
+            env.mdu,
+            HwRequest::plain(env.disk, service),
+        );
+    } else if roll < 0.60 {
+        // ACPI power transition pins the GPU (firmware sleep, no CPU).
+        let hold = rng.time_in(ms(450), ms(1000));
+        common::spawn_holder_with_idle(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "system!Worker",
+            &[sig::ACPI_POWER],
+            env.gpu_res,
+            hold,
+        );
+    } else if roll < 0.65 {
+        // Network stall.
+        let service = rng.lognormal_time(ms(600), 0.5);
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "netsvc!Worker",
+            &[sig::NET_SEND],
+            env.net_queue,
+            HwRequest::plain(env.net, service),
+        );
+    }
+
+    let mut b = ProgramBuilder::new("app!MessageLoop");
+    b = common::app_compute(b, rng, 50, 120);
+    b = common::app_critical_section(b, env, rng);
+    // The UI needs GPU resources to repaint.
+    b = b
+        .call(sig::GFX_ACQUIRE_GPU)
+        .acquire(env.gpu_res)
+        .compute(rng.time_in(ms(2), ms(4)))
+        .release(env.gpu_res)
+        .ret();
+    b = common::mdu_access(b, env, rng);
+    if (0.60..0.65).contains(&roll) {
+        b = b
+            .call(sig::NET_RECEIVE)
+            .acquire(env.net_queue)
+            .compute(ms(1))
+            .release(env.net_queue)
+            .ret();
+    }
+    if rng.chance(0.4) {
+        b = common::direct_disk_read(b, env, rng, 5, 0.6);
+    }
+    b = common::app_compute(b, rng, 50, 100);
+    let program = b.build().expect("AppNonResponsive program is well-formed");
+    m.add_thread(pid::APP, start + rng.time_in(ms(4), ms(7)), program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::{EventKind, StackTable};
+
+    #[test]
+    fn hard_fault_produces_graphics_fs_se_composition() {
+        // Force the hard-fault branch by scanning seeds.
+        let mut found = false;
+        for seed in 0..40 {
+            let mut rng = SimRng::seed_from(seed);
+            let mut m = Machine::new(0);
+            let env = Env::install(&mut m);
+            let tid = build(&mut m, &env, &mut rng, TimeNs::ZERO);
+            let mut stacks = StackTable::new();
+            let out = m.run(&mut stacks).unwrap();
+            let has_init = out.stream.events().iter().any(|e| {
+                stacks
+                    .resolve_frames(e.stack)
+                    .contains(&sig::GFX_INIT_STRUCT)
+            });
+            if !has_init {
+                continue;
+            }
+            let has_decrypt = out.stream.events().iter().any(|e| {
+                e.kind == EventKind::Running
+                    && stacks.resolve_frames(e.stack).contains(&sig::SE_READ_DECRYPT)
+            });
+            let (t0, t1) = out.span_of(tid).unwrap();
+            assert!(has_decrypt, "hard fault must decrypt the page read");
+            assert!(
+                t0.saturating_span_to(t1) > thresholds().slow(),
+                "hard-fault instance should be slow"
+            );
+            found = true;
+            break;
+        }
+        assert!(found, "no hard-fault instance in 40 seeds");
+    }
+}

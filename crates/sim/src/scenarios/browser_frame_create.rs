@@ -1,0 +1,96 @@
+//! `BrowserFrameCreate` — creating a new top-level browser frame.
+//!
+//! A lighter cousin of `BrowserTabCreate`: file-system/filter chains
+//! dominate, with network fetches for frame resources and the occasional
+//! disk-protection stall.
+
+use super::common::{self, ms, pid};
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::{HwRequest, ProgramBuilder};
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// Scenario name.
+pub const NAME: &str = "BrowserFrameCreate";
+
+/// Thresholds: fast < 250 ms, slow > 450 ms.
+pub fn thresholds() -> Thresholds {
+    Thresholds::new(ms(250), ms(450))
+}
+
+/// Adds one instance to the machine; returns the initiating thread id.
+pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+    common::ambient_noise(m, env, rng, start);
+    let roll = rng.unit();
+    if roll < 0.38 {
+        common::spawn_fig1_chain(m, env, rng, start, (220, 600));
+    } else if roll < 0.50 {
+        let service = rng.lognormal_time(ms(300), 0.5);
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "netsvc!Worker",
+            &[sig::NET_SEND],
+            env.net_queue,
+            HwRequest::plain(env.net, service),
+        );
+    } else if roll < 0.55 {
+        let service = rng.time_in(ms(250), ms(700));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "system!Worker",
+            &[sig::FS_ACQUIRE_MDU, sig::DP_HALT_IO],
+            env.mdu,
+            HwRequest::plain(env.disk, service),
+        );
+    }
+
+    let mut b = ProgramBuilder::new("browser!FrameCreate");
+    b = common::app_compute(b, rng, 25, 60);
+    b = common::app_critical_section(b, env, rng);
+    b = common::file_table_query(b, env, rng);
+    if rng.chance(0.6) {
+        b = common::mdu_access(b, env, rng);
+    }
+    if (0.38..0.50).contains(&roll) {
+        b = b
+            .call(sig::NET_RECEIVE)
+            .acquire(env.net_queue)
+            .compute(ms(1))
+            .release(env.net_queue)
+            .ret();
+    } else if rng.chance(0.5) {
+        b = common::network_fetch(b, env, rng, 12, 0.6);
+    }
+    if rng.chance(0.4) {
+        b = common::direct_disk_read(b, env, rng, 4, 0.6);
+    }
+    b = common::app_compute(b, rng, 25, 50);
+    let program = b.build().expect("BrowserFrameCreate program is well-formed");
+    m.add_thread(pid::BROWSER, start + rng.time_in(ms(4), ms(7)), program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::StackTable;
+
+    #[test]
+    fn instances_complete() {
+        let mut rng = SimRng::seed_from(21);
+        for i in 0..20 {
+            let mut m = Machine::new(i);
+            let env = Env::install(&mut m);
+            let tid = build(&mut m, &env, &mut rng, TimeNs::ZERO);
+            let mut stacks = StackTable::new();
+            let out = m.run(&mut stacks).unwrap();
+            assert!(out.span_of(tid).is_some());
+        }
+    }
+}

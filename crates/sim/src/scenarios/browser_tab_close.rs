@@ -1,0 +1,118 @@
+//! `BrowserTabClose` — closing a tab flushes its state to disk.
+//!
+//! Filter-driver chains around the File Table plus backup
+//! (`bk.sys`) interference and encrypted writes (Table 4: filter 6,
+//! file-system 5, storage-encryption 2, backup 2).
+
+use super::common::{self, ms, pid};
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::{HwRequest, ProgramBuilder};
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// Scenario name.
+pub const NAME: &str = "BrowserTabClose";
+
+/// Thresholds: fast < 150 ms, slow > 300 ms.
+pub fn thresholds() -> Thresholds {
+    Thresholds::new(ms(150), ms(300))
+}
+
+/// Adds one instance to the machine; returns the initiating thread id.
+pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+    common::ambient_noise(m, env, rng, start);
+    let roll = rng.unit();
+    if roll < 0.15 {
+        // Backup snapshot pins the MDU lock behind an encrypted read.
+        let service = rng.time_in(ms(180), ms(450));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::BACKUP,
+            "backup!Worker",
+            &[sig::FS_ACQUIRE_MDU, sig::BK_SNAPSHOT],
+            env.mdu,
+            HwRequest {
+                device: env.disk,
+                service,
+                post_frames: vec![sig::SE_READ_DECRYPT.to_owned()],
+                post_compute: TimeNs((service.0 as f64 * 0.12) as u64),
+            },
+        );
+    } else if roll < 0.38 {
+        // The File Table lock pinned behind an encrypted write.
+        let service = rng.time_in(ms(160), ms(420));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::BROWSER,
+            "browser!Worker",
+            &[sig::K_CREATE_FILE, sig::FV_QUERY_FILE_TABLE],
+            env.file_table,
+            HwRequest {
+                device: env.disk,
+                service,
+                post_frames: vec![sig::SE_WRITE_ENCRYPT.to_owned()],
+                post_compute: TimeNs((service.0 as f64 * 0.12) as u64),
+            },
+        );
+        common::spawn_queuer(
+            m,
+            rng,
+            start + ms(1),
+            pid::BROWSER,
+            "browser!Worker",
+            &[sig::K_CREATE_FILE, sig::FV_QUERY_FILE_TABLE],
+            env.file_table,
+        );
+    }
+
+    let mut b = ProgramBuilder::new("browser!TabClose");
+    b = common::app_compute(b, rng, 10, 30);
+    b = common::app_critical_section(b, env, rng);
+    b = common::file_table_query(b, env, rng);
+    if rng.chance(0.6) {
+        // Flush session state, encrypted.
+        b = common::encrypted_disk_write(b, env, rng.time_in(ms(15), ms(45)), 0.15);
+    }
+    if rng.chance(0.5) {
+        b = common::mdu_access(b, env, rng);
+    }
+    if (0.38..0.46).contains(&roll) {
+        // Occasionally the flush itself is large.
+        b = common::encrypted_disk_write(b, env, rng.time_in(ms(180), ms(400)), 0.15);
+    }
+    b = common::app_compute(b, rng, 10, 25);
+    let program = b.build().expect("BrowserTabClose program is well-formed");
+    m.add_thread(pid::BROWSER, start + rng.time_in(ms(4), ms(7)), program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::StackTable;
+
+    #[test]
+    fn instances_complete_with_classes() {
+        let mut rng = SimRng::seed_from(31);
+        let th = thresholds();
+        let (mut fast, mut slow) = (0, 0);
+        for i in 0..60 {
+            let mut m = Machine::new(i);
+            let env = Env::install(&mut m);
+            let tid = build(&mut m, &env, &mut rng, TimeNs::ZERO);
+            let mut stacks = StackTable::new();
+            let out = m.run(&mut stacks).unwrap();
+            let (t0, t1) = out.span_of(tid).unwrap();
+            match th.classify(t0.saturating_span_to(t1)) {
+                Some(true) => fast += 1,
+                Some(false) => slow += 1,
+                None => {}
+            }
+        }
+        assert!(fast >= 5 && slow >= 5, "fast={fast} slow={slow}");
+    }
+}

@@ -1,0 +1,125 @@
+//! `BrowserTabCreate` — the paper's motivating scenario (§2.2, Figure 1).
+//!
+//! The fast path is UI work plus a quick File-Table query. The dominant
+//! injected problem is the full Figure-1 chain: two contention regions
+//! (File Table lock in `fv.sys`, MDU lock in `fs.sys`) connected by
+//! hierarchical dependencies down to an encrypted disk read served by
+//! `se.sys` on a system worker thread.
+
+use super::common::{self, ms, pid};
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::{HwRequest, ProgramBuilder};
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// Scenario name.
+pub const NAME: &str = "BrowserTabCreate";
+
+/// Developer-specified thresholds (fast < 300 ms, slow > 500 ms), the
+/// exact pair the paper uses to illustrate §4.2.1.
+pub fn thresholds() -> Thresholds {
+    Thresholds::new(ms(300), ms(500))
+}
+
+/// Adds one instance (initiating thread plus any problem threads) to the
+/// machine; returns the initiating thread id.
+pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+    common::ambient_noise(m, env, rng, start);
+    let roll = rng.unit();
+    if roll < 0.40 {
+        common::spawn_fig1_chain(m, env, rng, start, (250, 700));
+    } else if roll < 0.52 {
+        // Network stall: the net queue is pinned behind a slow send.
+        let service = rng.lognormal_time(ms(350), 0.5);
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "netsvc!Worker",
+            &[sig::NET_SEND],
+            env.net_queue,
+            HwRequest::plain(env.net, service),
+        );
+    } else if roll < 0.58 {
+        // GPU resources pinned by a long render on the GPU itself.
+        let service = rng.time_in(ms(250), ms(500));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "system!Worker",
+            &[sig::GFX_RENDER],
+            env.gpu_res,
+            HwRequest::plain(env.gpu, service),
+        );
+    }
+
+    let mut b = ProgramBuilder::new("browser!TabCreate");
+    b = common::app_compute(b, rng, 30, 70);
+    b = common::app_critical_section(b, env, rng);
+    b = common::file_table_query(b, env, rng);
+    if rng.chance(0.3) {
+        b = b.call(sig::MOUSE_INPUT).compute(ms(1)).ret();
+    }
+    if (0.40..0.52).contains(&roll) {
+        // This instance touches the stalled network queue.
+        b = b
+            .call(sig::NET_RECEIVE)
+            .acquire(env.net_queue)
+            .compute(ms(1))
+            .release(env.net_queue)
+            .ret();
+        b = common::network_fetch(b, env, rng, 25, 0.7);
+    } else if rng.chance(0.5) {
+        b = common::network_fetch(b, env, rng, 8, 0.6);
+    }
+    if (0.52..0.58).contains(&roll) {
+        b = b
+            .call(sig::GFX_RENDER)
+            .acquire(env.gpu_res)
+            .compute(rng.time_in(ms(2), ms(5)))
+            .release(env.gpu_res)
+            .ret();
+    }
+    if rng.chance(0.5) {
+        b = common::direct_disk_read(b, env, rng, 4, 0.6);
+    }
+    if (0.58..0.64).contains(&roll) {
+        // Occasionally the tab's own resources sit on encrypted storage.
+        b = common::encrypted_disk_read(b, env, rng.time_in(ms(250), ms(600)), 0.12);
+    }
+    b = common::app_compute(b, rng, 30, 60);
+    let program = b.build().expect("BrowserTabCreate program is well-formed");
+    m.add_thread(pid::BROWSER, start + rng.time_in(ms(5), ms(8)), program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::StackTable;
+
+    #[test]
+    fn produces_fast_and_slow_instances() {
+        let mut rng = SimRng::seed_from(99);
+        let th = thresholds();
+        let (mut fast, mut slow) = (0, 0);
+        for i in 0..60 {
+            let mut m = Machine::new(i);
+            let env = Env::install(&mut m);
+            let tid = build(&mut m, &env, &mut rng, TimeNs::ZERO);
+            let mut stacks = StackTable::new();
+            let out = m.run(&mut stacks).unwrap();
+            let (t0, t1) = out.span_of(tid).unwrap();
+            match th.classify(t0.saturating_span_to(t1)) {
+                Some(true) => fast += 1,
+                Some(false) => slow += 1,
+                None => {}
+            }
+        }
+        assert!(fast >= 5, "expected fast instances, got {fast}");
+        assert!(slow >= 5, "expected slow instances, got {slow}");
+    }
+}

@@ -1,0 +1,111 @@
+//! `BrowserTabSwitch` — switching between open tabs.
+//!
+//! Characterized by many *direct* hardware reads (paging tab state back
+//! in): the paper reports 66.6 % of this scenario's driver cost is
+//! direct hardware service without cost propagation — exactly the
+//! portions AWG reduction prunes as non-optimizable (§5.2.2).
+
+use super::common::{self, ms, pid};
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::{HwRequest, ProgramBuilder};
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// Scenario name.
+pub const NAME: &str = "BrowserTabSwitch";
+
+/// Thresholds: fast < 200 ms, slow > 400 ms.
+pub fn thresholds() -> Thresholds {
+    Thresholds::new(ms(200), ms(400))
+}
+
+/// Adds one instance to the machine; returns the initiating thread id.
+pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+    common::ambient_noise(m, env, rng, start);
+    let roll = rng.unit();
+    if (0.30..0.50).contains(&roll) {
+        common::spawn_fig1_chain(m, env, rng, start, (200, 520));
+    } else if roll < 0.58 {
+        let service = rng.lognormal_time(ms(280), 0.5);
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "netsvc!Worker",
+            &[sig::NET_SEND],
+            env.net_queue,
+            HwRequest::plain(env.net, service),
+        );
+    }
+
+    let mut b = ProgramBuilder::new("browser!TabSwitch");
+    b = common::app_compute(b, rng, 20, 50);
+    b = common::app_critical_section(b, env, rng);
+    b = common::file_table_query(b, env, rng);
+    // Page the target tab's state back in: several direct reads.
+    let reads = rng.int_in(2, 4);
+    for _ in 0..reads {
+        if roll < 0.30 {
+            // Slow path: the reads themselves are long (cold storage) —
+            // high driver cost, but all of it direct hardware service.
+            b = common::direct_disk_read(b, env, rng, 160, 0.4);
+        } else {
+            b = common::direct_disk_read(b, env, rng, 7, 0.7);
+        }
+    }
+    if (0.50..0.58).contains(&roll) {
+        b = b
+            .call(sig::NET_RECEIVE)
+            .acquire(env.net_queue)
+            .compute(ms(1))
+            .release(env.net_queue)
+            .ret();
+    } else if rng.chance(0.4) {
+        b = common::network_fetch(b, env, rng, 8, 0.6);
+    }
+    b = common::app_compute(b, rng, 20, 40);
+    let program = b.build().expect("BrowserTabSwitch program is well-formed");
+    m.add_thread(pid::BROWSER, start + rng.time_in(ms(4), ms(7)), program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::{EventKind, StackTable};
+
+    #[test]
+    fn slow_direct_read_instances_have_high_hardware_share() {
+        // Find a cold-storage instance (roll < 0.22) and check the bulk
+        // of its driver time is raw hardware service.
+        let mut found = false;
+        for seed in 0..60 {
+            let mut rng = SimRng::seed_from(seed);
+            let mut m = Machine::new(0);
+            let env = Env::install(&mut m);
+            let tid = build(&mut m, &env, &mut rng, TimeNs::ZERO);
+            let mut stacks = StackTable::new();
+            let out = m.run(&mut stacks).unwrap();
+            let (t0, t1) = out.span_of(tid).unwrap();
+            let dur = t0.saturating_span_to(t1);
+            let hw: TimeNs = out
+                .stream
+                .events()
+                .iter()
+                .filter(|e| e.kind == EventKind::HardwareService)
+                .map(|e| e.cost)
+                .sum();
+            // Cold instance: > 400ms with >200ms of hw time and no chain.
+            let has_chain = out.stream.events().iter().any(|e| {
+                stacks.resolve_frames(e.stack).contains(&sig::SE_READ_DECRYPT)
+            });
+            if dur > thresholds().slow() && !has_chain {
+                assert!(hw > ms(150), "cold instance should be hw-dominated");
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no cold-storage instance found in 60 seeds");
+    }
+}

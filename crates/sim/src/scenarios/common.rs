@@ -1,0 +1,453 @@
+//! Shared program fragments and auxiliary-thread spawners used by the
+//! scenario generators.
+//!
+//! Lock-ordering discipline (deadlock freedom): programs that nest locks
+//! always acquire in the order `av_db → file_table → mdu`; the remaining
+//! locks (`net_queue`, `gpu_res`, `cache`, `app`) are never held together
+//! with another lock.
+
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::{HwRequest, ProgramBuilder};
+use crate::rng::SimRng;
+use tracelens_model::{ProcessId, TimeNs};
+
+/// Process-id conventions for the simulated ecosystem.
+pub mod pid {
+    use tracelens_model::ProcessId;
+    /// The system process (device workers, kernel worker threads).
+    pub const SYSTEM: ProcessId = ProcessId(0);
+    /// The web browser.
+    pub const BROWSER: ProcessId = ProcessId(1);
+    /// The anti-virus service.
+    pub const ANTIVIRUS: ProcessId = ProcessId(2);
+    /// The configuration manager.
+    pub const CONFIG_MGR: ProcessId = ProcessId(3);
+    /// A generic foreground application.
+    pub const APP: ProcessId = ProcessId(4);
+    /// The backup service.
+    pub const BACKUP: ProcessId = ProcessId(5);
+}
+
+/// Milliseconds shorthand.
+pub fn ms(v: u64) -> TimeNs {
+    TimeNs::from_millis(v)
+}
+
+/// Application-level CPU work jittered within `[lo_ms, hi_ms]`.
+pub fn app_compute(b: ProgramBuilder, rng: &mut SimRng, lo_ms: u64, hi_ms: u64) -> ProgramBuilder {
+    b.compute(rng.time_in(ms(lo_ms), ms(hi_ms)))
+}
+
+/// A direct (unencrypted, uncached) disk read through `fs.sys` — the
+/// non-optimizable wait→hardware pattern that AWG reduction prunes.
+pub fn direct_disk_read(
+    b: ProgramBuilder,
+    env: &Env,
+    rng: &mut SimRng,
+    median_ms: u64,
+    sigma: f64,
+) -> ProgramBuilder {
+    let service = rng.lognormal_time(ms(median_ms), sigma);
+    b.call(sig::K_OPEN_FILE)
+        .call(sig::FS_READ)
+        .request(HwRequest::plain(env.disk, service))
+        .ret()
+        .ret()
+}
+
+/// An encrypted disk read: `fs.sys!Read` waits while the device worker
+/// performs the raw transfer and then decrypts in `se.sys!ReadDecrypt`.
+/// The decryption CPU time is `decrypt_frac` of the service time.
+pub fn encrypted_disk_read(
+    b: ProgramBuilder,
+    env: &Env,
+    service: TimeNs,
+    decrypt_frac: f64,
+) -> ProgramBuilder {
+    let decrypt = TimeNs((service.0 as f64 * decrypt_frac) as u64);
+    b.call(sig::K_OPEN_FILE)
+        .call(sig::FS_READ)
+        .request(HwRequest {
+            device: env.disk,
+            service,
+            post_frames: vec![sig::SE_READ_DECRYPT.to_owned()],
+            post_compute: decrypt,
+        })
+        .ret()
+        .ret()
+}
+
+/// An encrypted disk write (`fs.sys!Write` + `se.sys!WriteEncrypt`).
+pub fn encrypted_disk_write(
+    b: ProgramBuilder,
+    env: &Env,
+    service: TimeNs,
+    encrypt_frac: f64,
+) -> ProgramBuilder {
+    let encrypt = TimeNs((service.0 as f64 * encrypt_frac) as u64);
+    b.call(sig::K_CREATE_FILE)
+        .call(sig::FS_WRITE)
+        .request(HwRequest {
+            device: env.disk,
+            service,
+            post_frames: vec![sig::SE_WRITE_ENCRYPT.to_owned()],
+            post_compute: encrypt,
+        })
+        .ret()
+        .ret()
+}
+
+/// A network round-trip through `net.sys` (heavy-tailed service time).
+pub fn network_fetch(
+    b: ProgramBuilder,
+    env: &Env,
+    rng: &mut SimRng,
+    median_ms: u64,
+    sigma: f64,
+) -> ProgramBuilder {
+    let service = rng.lognormal_time(ms(median_ms), sigma);
+    b.call(sig::NET_SEND)
+        .request(HwRequest::plain(env.net, service))
+        .ret()
+}
+
+/// A quick `fv.sys` File-Table query under the File Table lock.
+pub fn file_table_query(b: ProgramBuilder, env: &Env, rng: &mut SimRng) -> ProgramBuilder {
+    b.call(sig::K_OPEN_FILE)
+        .call(sig::FV_QUERY_FILE_TABLE)
+        .acquire(env.file_table)
+        .compute(rng.time_in(ms(1), ms(3)))
+        .release(env.file_table)
+        .ret()
+        .ret()
+}
+
+/// A shared (reader-mode) `fs.sys` metadata lookup: compatible with
+/// other readers, so it only blocks behind exclusive metadata updates —
+/// the common fast path of real filesystems.
+pub fn mdu_read_shared(b: ProgramBuilder, env: &Env, rng: &mut SimRng) -> ProgramBuilder {
+    b.call(sig::K_OPEN_FILE)
+        .call(sig::FS_ACQUIRE_MDU)
+        .acquire_shared(env.mdu)
+        .compute(rng.time_in(ms(1), ms(2)))
+        .release(env.mdu)
+        .ret()
+        .ret()
+}
+
+/// A quick `fs.sys` metadata access under the MDU lock.
+pub fn mdu_access(b: ProgramBuilder, env: &Env, rng: &mut SimRng) -> ProgramBuilder {
+    b.call(sig::K_OPEN_FILE)
+        .call(sig::FS_ACQUIRE_MDU)
+        .acquire(env.mdu)
+        .compute(rng.time_in(ms(1), ms(2)))
+        .release(env.mdu)
+        .ret()
+        .ret()
+}
+
+/// Spawns an auxiliary thread that holds `lock` under the given driver
+/// frames while a device request completes — the generic "slow holder"
+/// that cost propagation chains start from.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_holder_with_request(
+    machine: &mut Machine,
+    rng: &mut SimRng,
+    at: TimeNs,
+    owner: ProcessId,
+    root: &str,
+    frames: &[&str],
+    lock: crate::program::LockId,
+    request: HwRequest,
+) {
+    let mut b = ProgramBuilder::new(root).idle(rng.time_in(TimeNs::ZERO, ms(1)));
+    for f in frames {
+        b = b.call(f);
+    }
+    b = b.acquire(lock).request(request).release(lock);
+    for _ in frames {
+        b = b.ret();
+    }
+    let program = b.build().expect("holder program is well-formed");
+    machine.add_thread(owner, at, program);
+}
+
+/// Spawns an auxiliary thread that holds `lock` under driver frames while
+/// computing on the CPU (a busy holder).
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_holder_with_compute(
+    machine: &mut Machine,
+    rng: &mut SimRng,
+    at: TimeNs,
+    owner: ProcessId,
+    root: &str,
+    frames: &[&str],
+    lock: crate::program::LockId,
+    dur: TimeNs,
+) {
+    let mut b = ProgramBuilder::new(root).idle(rng.time_in(TimeNs::ZERO, ms(1)));
+    for f in frames {
+        b = b.call(f);
+    }
+    b = b.acquire(lock).compute(dur).release(lock);
+    for _ in frames {
+        b = b.ret();
+    }
+    let program = b.build().expect("holder program is well-formed");
+    machine.add_thread(owner, at, program);
+}
+
+/// Spawns an auxiliary thread that holds `lock` under driver frames
+/// while sleeping (a firmware/timer delay: wall time passes but no CPU
+/// is consumed and no tracing events are emitted).
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_holder_with_idle(
+    machine: &mut Machine,
+    rng: &mut SimRng,
+    at: TimeNs,
+    owner: ProcessId,
+    root: &str,
+    frames: &[&str],
+    lock: crate::program::LockId,
+    dur: TimeNs,
+) {
+    let mut b = ProgramBuilder::new(root).idle(rng.time_in(TimeNs::ZERO, ms(1)));
+    for f in frames {
+        b = b.call(f);
+    }
+    b = b.acquire(lock).idle(dur).release(lock);
+    for _ in frames {
+        b = b.ret();
+    }
+    let program = b.build().expect("idle holder program is well-formed");
+    machine.add_thread(owner, at, program);
+}
+
+/// Spawns an auxiliary thread that merely queues on `lock` under driver
+/// frames (a contention victim widening the contention region).
+pub fn spawn_queuer(
+    machine: &mut Machine,
+    rng: &mut SimRng,
+    at: TimeNs,
+    owner: ProcessId,
+    root: &str,
+    frames: &[&str],
+    lock: crate::program::LockId,
+) {
+    let mut b = ProgramBuilder::new(root);
+    for f in frames {
+        b = b.call(f);
+    }
+    b = b
+        .acquire(lock)
+        .compute(rng.time_in(ms(1), ms(3)))
+        .release(lock);
+    for _ in frames {
+        b = b.ret();
+    }
+    let program = b.build().expect("queuer program is well-formed");
+    machine.add_thread(owner, at, program);
+}
+
+/// A brief pass through an application-level critical section. When a
+/// background app stall (see [`ambient_noise`]) holds the app lock, the
+/// instance is delayed *without* driver involvement — the paper's slow
+/// classes also contain such non-driver slowness, which keeps driver
+/// cost below 100 % of scenario time.
+pub fn app_critical_section(b: ProgramBuilder, env: &Env, rng: &mut SimRng) -> ProgramBuilder {
+    b.acquire(env.app)
+        .compute(rng.time_in(ms(1), ms(2)))
+        .release(env.app)
+}
+
+/// Ambient machine activity, independent of the scenario's injected
+/// problems:
+///
+/// * with ~45 % probability, a *brief* driver-lock holder (4–12 ms) —
+///   mild contention that appears in fast and slow classes alike, so the
+///   resulting meta-patterns are common (not contrasts);
+/// * with ~12 % probability, an application-level stall (150–450 ms on
+///   the app lock, no driver frames) — slowness the driver analyses must
+///   *not* attribute to drivers.
+pub fn ambient_noise(machine: &mut Machine, env: &Env, rng: &mut SimRng, at: TimeNs) {
+    if rng.chance(0.45) {
+        let (lock, root, frames): (_, &str, &[&str]) = match rng.index(4) {
+            0 => (env.file_table, "browser!Worker", &[sig::FV_QUERY_FILE_TABLE]),
+            1 => (env.mdu, "system!Worker", &[sig::FS_ACQUIRE_MDU]),
+            2 => (env.net_queue, "netsvc!Worker", &[sig::NET_SEND]),
+            _ => (env.cache, "system!Worker", &[sig::IOC_LOOKUP]),
+        };
+        let hold = rng.time_in(ms(4), ms(12));
+        spawn_holder_with_compute(machine, rng, at, pid::SYSTEM, root, frames, lock, hold);
+    }
+    if rng.chance(0.18) {
+        let hold = rng.time_in(ms(200), ms(600));
+        spawn_holder_with_compute(
+            machine,
+            rng,
+            at,
+            pid::APP,
+            "app!BackgroundJob",
+            &[],
+            env.app,
+            hold,
+        );
+    }
+}
+
+/// Spawns the canonical Figure-1 problem around the initiating thread:
+///
+/// * a Configuration-Manager worker holds the **MDU** lock behind a long
+///   encrypted read (disk + `se.sys` decryption),
+/// * an AntiVirus worker queues on the MDU lock,
+/// * a browser worker holds the **File Table** lock while queueing on the
+///   MDU lock (connecting the two contention regions hierarchically),
+/// * a second browser worker queues on the File Table lock.
+///
+/// Any thread subsequently acquiring the File Table lock (e.g. the
+/// browser UI thread) inherits the whole propagation chain.
+pub fn spawn_fig1_chain(
+    machine: &mut Machine,
+    env: &Env,
+    rng: &mut SimRng,
+    at: TimeNs,
+    read_ms: (u64, u64),
+) {
+    let service = rng.time_in(ms(read_ms.0), ms(read_ms.1));
+    // CM worker: MDU holder behind the encrypted read.
+    spawn_holder_with_request(
+        machine,
+        rng,
+        at,
+        pid::CONFIG_MGR,
+        "cm!Worker",
+        &[sig::K_OPEN_FILE, sig::FS_ACQUIRE_MDU],
+        env.mdu,
+        HwRequest {
+            device: env.disk,
+            service,
+            post_frames: vec![sig::SE_READ_DECRYPT.to_owned()],
+            post_compute: TimeNs((service.0 as f64 * 0.15) as u64),
+        },
+    );
+    // AV worker: queues on the MDU lock.
+    spawn_queuer(
+        machine,
+        rng,
+        at + ms(1),
+        pid::ANTIVIRUS,
+        "av!Worker",
+        &[sig::K_OPEN_FILE, sig::FS_ACQUIRE_MDU],
+        env.mdu,
+    );
+    // Browser worker 1: holds the File Table lock, queues on MDU.
+    let w1 = ProgramBuilder::new("browser!Worker")
+        .call(sig::K_CREATE_FILE)
+        .call(sig::FV_QUERY_FILE_TABLE)
+        .acquire(env.file_table)
+        .call(sig::FS_ACQUIRE_MDU)
+        .acquire(env.mdu)
+        .compute(rng.time_in(ms(1), ms(3)))
+        .release(env.mdu)
+        .ret()
+        .release(env.file_table)
+        .ret()
+        .ret()
+        .build()
+        .expect("browser worker 1 program");
+    machine.add_thread(pid::BROWSER, at + ms(2), w1);
+    // Browser worker 2: queues on the File Table lock.
+    spawn_queuer(
+        machine,
+        rng,
+        at + ms(3),
+        pid::BROWSER,
+        "browser!Worker",
+        &[sig::K_CREATE_FILE, sig::FV_QUERY_FILE_TABLE],
+        env.file_table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::{EventKind, StackTable};
+
+    #[test]
+    fn fragments_build_valid_programs() {
+        let mut m = Machine::new(0);
+        let env = Env::install(&mut m);
+        let mut rng = SimRng::seed_from(1);
+        let b = ProgramBuilder::new("app!Main");
+        let b = app_compute(b, &mut rng, 1, 2);
+        let b = direct_disk_read(b, &env, &mut rng, 5, 0.5);
+        let b = encrypted_disk_read(b, &env, ms(10), 0.2);
+        let b = encrypted_disk_write(b, &env, ms(10), 0.2);
+        let b = network_fetch(b, &env, &mut rng, 5, 1.0);
+        let b = file_table_query(b, &env, &mut rng);
+        let b = mdu_access(b, &env, &mut rng);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn fig1_chain_delays_a_file_table_acquirer() {
+        let mut m = Machine::new(0);
+        let env = Env::install(&mut m);
+        let mut rng = SimRng::seed_from(2);
+        spawn_fig1_chain(&mut m, &env, &mut rng, TimeNs::ZERO, (100, 100));
+        // The "UI" thread arrives late and acquires the File Table lock.
+        let ui = ProgramBuilder::new("browser!TabCreate");
+        let ui = file_table_query(ui, &env, &mut rng);
+        let ui_tid = m.add_thread(pid::BROWSER, ms(10), ui.build().unwrap());
+        let mut stacks = StackTable::new();
+        let out = m.run(&mut stacks).unwrap();
+        let (_, finish) = out.span_of(ui_tid).unwrap();
+        // The chain pins the UI thread behind a ~100ms (+15% decrypt) read.
+        assert!(finish > ms(110), "UI finished too early: {finish}");
+        // The chain produced a decryption running sample.
+        let has_decrypt = out.stream.events().iter().any(|e| {
+            e.kind == EventKind::Running
+                && stacks.resolve_frames(e.stack).contains(&sig::SE_READ_DECRYPT)
+        });
+        assert!(has_decrypt);
+    }
+
+    #[test]
+    fn holders_and_queuers_are_wellformed() {
+        let mut m = Machine::new(0);
+        let env = Env::install(&mut m);
+        let mut rng = SimRng::seed_from(3);
+        spawn_holder_with_compute(
+            &mut m,
+            &mut rng,
+            TimeNs::ZERO,
+            pid::APP,
+            "app!W",
+            &[sig::AV_INSPECT],
+            env.av_db,
+            ms(5),
+        );
+        spawn_holder_with_request(
+            &mut m,
+            &mut rng,
+            TimeNs::ZERO,
+            pid::APP,
+            "app!W",
+            &[sig::NET_SEND],
+            env.net_queue,
+            HwRequest::plain(env.net, ms(5)),
+        );
+        spawn_queuer(
+            &mut m,
+            &mut rng,
+            ms(1),
+            pid::APP,
+            "app!W",
+            &[sig::NET_RECEIVE],
+            env.net_queue,
+        );
+        let mut stacks = StackTable::new();
+        assert!(m.run(&mut stacks).is_ok());
+    }
+}

@@ -1,0 +1,253 @@
+//! Filler scenarios for the impact-analysis data set.
+//!
+//! The paper's impact analysis runs over *all* 1,364 scenarios, most of
+//! which are not driver-heavy; the eight selected scenarios of the
+//! causality evaluation are. These three filler scenarios model that
+//! broader population — mostly application CPU time with light driver
+//! use — so the full-data-set impact percentages (`IA_wait`, `IA_run`)
+//! are diluted the way the paper's are.
+
+use super::common::{self, ms, pid};
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::ProgramBuilder;
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// `AppStartup`: application launch — CPU-bound with a few small reads.
+pub mod app_startup {
+    use super::*;
+
+    /// Scenario name.
+    pub const NAME: &str = "AppStartup";
+
+    /// Thresholds: fast < 600 ms, slow > 1200 ms.
+    pub fn thresholds() -> Thresholds {
+        Thresholds::new(ms(600), ms(1200))
+    }
+
+    /// Adds one instance to the machine; returns the initiating thread.
+    pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+        let mut b = ProgramBuilder::new("app!Startup");
+        b = common::app_compute(b, rng, 120, 300);
+        for _ in 0..rng.int_in(1, 3) {
+            b = common::direct_disk_read(b, env, rng, 4, 0.6);
+        }
+        if rng.chance(0.3) {
+            b = b
+                .call(sig::IOC_LOOKUP)
+                .acquire(env.cache)
+                .compute(ms(1))
+                .release(env.cache)
+                .ret();
+        }
+        b = common::app_compute(b, rng, 80, 200);
+        let program = b.build().expect("AppStartup program is well-formed");
+        m.add_thread(pid::APP, start + rng.time_in(ms(1), ms(4)), program)
+    }
+}
+
+/// `UIAnimation`: a pure-CPU animation with a brief GPU touch.
+pub mod ui_animation {
+    use super::*;
+
+    /// Scenario name.
+    pub const NAME: &str = "UIAnimation";
+
+    /// Thresholds: fast < 300 ms, slow > 600 ms.
+    pub fn thresholds() -> Thresholds {
+        Thresholds::new(ms(300), ms(600))
+    }
+
+    /// Adds one instance to the machine; returns the initiating thread.
+    pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+        let mut b = ProgramBuilder::new("app!Animate");
+        b = common::app_compute(b, rng, 80, 180);
+        if rng.chance(0.5) {
+            b = b
+                .call(sig::GFX_RENDER)
+                .acquire(env.gpu_res)
+                .compute(rng.time_in(ms(2), ms(5)))
+                .release(env.gpu_res)
+                .ret();
+        }
+        if rng.chance(0.3) {
+            b = b.call(sig::MOUSE_INPUT).compute(ms(1)).ret();
+        }
+        b = common::app_compute(b, rng, 40, 100);
+        let program = b.build().expect("UIAnimation program is well-formed");
+        m.add_thread(pid::APP, start + rng.time_in(ms(1), ms(4)), program)
+    }
+}
+
+/// `DocumentSave`: saving a document — CPU plus a small encrypted write.
+pub mod document_save {
+    use super::*;
+
+    /// Scenario name.
+    pub const NAME: &str = "DocumentSave";
+
+    /// Thresholds: fast < 400 ms, slow > 800 ms.
+    pub fn thresholds() -> Thresholds {
+        Thresholds::new(ms(400), ms(800))
+    }
+
+    /// Adds one instance to the machine; returns the initiating thread.
+    pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+        let mut b = ProgramBuilder::new("app!SaveDocument");
+        b = common::app_compute(b, rng, 60, 150);
+        if rng.chance(0.7) {
+            b = common::encrypted_disk_write(b, env, rng.time_in(ms(10), ms(35)), 0.15);
+        } else {
+            b = common::direct_disk_read(b, env, rng, 6, 0.6);
+        }
+        if rng.chance(0.4) {
+            // Metadata reads take the MDU in shared mode; they only
+            // stall behind exclusive writers.
+            b = common::mdu_read_shared(b, env, rng);
+        }
+        b = common::app_compute(b, rng, 40, 100);
+        let program = b.build().expect("DocumentSave program is well-formed");
+        m.add_thread(pid::APP, start + rng.time_in(ms(1), ms(4)), program)
+    }
+}
+
+/// `FileCopy`: bulk file copy — cache lookups, metadata churn, and long
+/// direct reads/writes; occasionally throttled by a backup snapshot.
+pub mod file_copy {
+    use super::*;
+    use crate::program::HwRequest;
+
+    /// Scenario name.
+    pub const NAME: &str = "FileCopy";
+
+    /// Thresholds: fast < 800 ms, slow > 1600 ms.
+    pub fn thresholds() -> Thresholds {
+        Thresholds::new(ms(800), ms(1600))
+    }
+
+    /// Adds one instance to the machine; returns the initiating thread.
+    pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+        if rng.chance(0.12) {
+            // Backup snapshot pins the cache lock mid-copy while it
+            // flushes dirty blocks to disk.
+            let service = rng.time_in(ms(300), ms(900));
+            common::spawn_holder_with_request(
+                m,
+                rng,
+                start,
+                pid::BACKUP,
+                "backup!Worker",
+                &[sig::BK_SNAPSHOT, sig::IOC_FLUSH],
+                env.cache,
+                HwRequest::plain(env.disk, service),
+            );
+        }
+        let mut b = ProgramBuilder::new("app!CopyFiles");
+        b = common::app_compute(b, rng, 20, 60);
+        for _ in 0..rng.int_in(2, 5) {
+            // Cache lookup, then the block transfer.
+            b = b
+                .call(sig::IOC_LOOKUP)
+                .acquire(env.cache)
+                .compute(ms(1))
+                .release(env.cache)
+                .ret();
+            b = common::direct_disk_read(b, env, rng, 25, 0.6);
+            b = b
+                .call(sig::K_CREATE_FILE)
+                .call(sig::FS_WRITE)
+                .request(HwRequest::plain(env.disk, rng.lognormal_time(ms(20), 0.5)))
+                .ret()
+                .ret();
+        }
+        if rng.chance(0.5) {
+            b = common::mdu_read_shared(b, env, rng);
+        }
+        b = common::app_compute(b, rng, 20, 50);
+        let program = b.build().expect("FileCopy program is well-formed");
+        m.add_thread(pid::APP, start + rng.time_in(ms(1), ms(4)), program)
+    }
+}
+
+/// `DeviceResume`: waking a device — ACPI power transitions gating the
+/// GPU, with a brief repaint afterwards.
+pub mod device_resume {
+    use super::*;
+
+    /// Scenario name.
+    pub const NAME: &str = "DeviceResume";
+
+    /// Thresholds: fast < 500 ms, slow > 1000 ms.
+    pub fn thresholds() -> Thresholds {
+        Thresholds::new(ms(500), ms(1000))
+    }
+
+    /// Adds one instance to the machine; returns the initiating thread.
+    pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+        if rng.chance(0.25) {
+            // The ACPI transition itself is slow: the worker sleeps on
+            // firmware while holding the GPU resource.
+            let hold = rng.time_in(ms(500), ms(1400));
+            common::spawn_holder_with_idle(
+                m,
+                rng,
+                start,
+                pid::SYSTEM,
+                "system!Worker",
+                &[sig::ACPI_POWER],
+                env.gpu_res,
+                hold,
+            );
+        }
+        let mut b = ProgramBuilder::new("app!ResumeDevice");
+        b = common::app_compute(b, rng, 30, 80);
+        b = b
+            .call(sig::ACPI_POWER)
+            .acquire(env.gpu_res)
+            .compute(rng.time_in(ms(3), ms(8)))
+            .release(env.gpu_res)
+            .ret();
+        b = b
+            .call(sig::GFX_RENDER)
+            .acquire(env.gpu_res)
+            .compute(rng.time_in(ms(2), ms(6)))
+            .release(env.gpu_res)
+            .ret();
+        if rng.chance(0.3) {
+            b = common::direct_disk_read(b, env, rng, 6, 0.6);
+        }
+        b = common::app_compute(b, rng, 30, 70);
+        let program = b.build().expect("DeviceResume program is well-formed");
+        m.add_thread(pid::APP, start + rng.time_in(ms(1), ms(4)), program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::StackTable;
+
+    #[test]
+    fn fillers_complete_and_are_mostly_fast() {
+        let mut rng = SimRng::seed_from(61);
+        for i in 0..10u32 {
+            let mut m = Machine::new(i);
+            let env = Env::install(&mut m);
+            let a = app_startup::build(&mut m, &env, &mut rng, TimeNs::ZERO);
+            let b = ui_animation::build(&mut m, &env, &mut rng, ms(5));
+            let c = document_save::build(&mut m, &env, &mut rng, ms(10));
+            let mut stacks = StackTable::new();
+            let out = m.run(&mut stacks).unwrap();
+            for (tid, th) in [
+                (a, app_startup::thresholds()),
+                (b, ui_animation::thresholds()),
+                (c, document_save::thresholds()),
+            ] {
+                let (t0, t1) = out.span_of(tid).unwrap();
+                // Fillers are essentially always below their slow bound.
+                assert!(t0.saturating_span_to(t1) < th.slow() * 2);
+            }
+        }
+    }
+}

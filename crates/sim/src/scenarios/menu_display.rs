@@ -1,0 +1,123 @@
+//! `MenuDisplay` — displaying a menu whose items come from a remote
+//! server.
+//!
+//! Network-driver dominated (Table 4: 7 of the top-10 patterns): the
+//! network queue lock serializes requests, and unstable bandwidth turns
+//! into heavy-tailed service times that propagate to the UI.
+
+use super::common::{self, ms, pid};
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::{HwRequest, ProgramBuilder};
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// Scenario name.
+pub const NAME: &str = "MenuDisplay";
+
+/// Thresholds: fast < 200 ms, slow > 400 ms.
+pub fn thresholds() -> Thresholds {
+    Thresholds::new(ms(200), ms(400))
+}
+
+/// Adds one instance to the machine; returns the initiating thread id.
+pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+    common::ambient_noise(m, env, rng, start);
+    let roll = rng.unit();
+    if roll < 0.45 {
+        // The network queue is pinned behind a slow remote request; the
+        // blocked entry point varies (send / DNS / receive paths), so
+        // several distinct network patterns emerge — the paper's
+        // MenuDisplay row is network-dominated (7 of the top 10).
+        let service = rng.lognormal_time(ms(380), 0.6);
+        let hold_site = [sig::NET_SEND, sig::NET_QUERY_DNS, sig::NET_RECEIVE][rng.index(3)];
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "netsvc!Worker",
+            &[hold_site],
+            env.net_queue,
+            HwRequest::plain(env.net, service),
+        );
+        common::spawn_queuer(
+            m,
+            rng,
+            start + ms(1),
+            pid::SYSTEM,
+            "netsvc!Worker",
+            &[sig::NET_RECEIVE],
+            env.net_queue,
+        );
+    } else if roll < 0.51 {
+        // Disk protection halts metadata I/O.
+        let service = rng.time_in(ms(250), ms(650));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "system!Worker",
+            &[sig::FS_ACQUIRE_MDU, sig::DP_HALT_IO],
+            env.mdu,
+            HwRequest::plain(env.disk, service),
+        );
+    } else if roll < 0.65 {
+        common::spawn_fig1_chain(m, env, rng, start, (200, 450));
+    }
+
+    let mut b = ProgramBuilder::new("app!ShowMenu");
+    b = common::app_compute(b, rng, 10, 25);
+    b = common::app_critical_section(b, env, rng);
+    // DNS + fetch of remote menu items, serialized on the net queue.
+    b = b
+        .call(sig::NET_QUERY_DNS)
+        .acquire(env.net_queue)
+        .compute(ms(1))
+        .release(env.net_queue)
+        .ret();
+    b = common::network_fetch(b, env, rng, 18, 0.8);
+    b = b
+        .call(sig::NET_RECEIVE)
+        .acquire(env.net_queue)
+        .compute(ms(1))
+        .release(env.net_queue)
+        .ret();
+    if rng.chance(0.35) {
+        b = common::mdu_access(b, env, rng);
+    }
+    if rng.chance(0.3) {
+        b = common::file_table_query(b, env, rng);
+    }
+    b = common::app_compute(b, rng, 10, 20);
+    let program = b.build().expect("MenuDisplay program is well-formed");
+    m.add_thread(pid::APP, start + rng.time_in(ms(4), ms(7)), program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::StackTable;
+
+    #[test]
+    fn instances_complete_with_classes() {
+        let mut rng = SimRng::seed_from(41);
+        let th = thresholds();
+        let (mut fast, mut slow) = (0, 0);
+        for i in 0..60 {
+            let mut m = Machine::new(i);
+            let env = Env::install(&mut m);
+            let tid = build(&mut m, &env, &mut rng, TimeNs::ZERO);
+            let mut stacks = StackTable::new();
+            let out = m.run(&mut stacks).unwrap();
+            let (t0, t1) = out.span_of(tid).unwrap();
+            match th.classify(t0.saturating_span_to(t1)) {
+                Some(true) => fast += 1,
+                Some(false) => slow += 1,
+                None => {}
+            }
+        }
+        assert!(fast >= 5 && slow >= 5, "fast={fast} slow={slow}");
+    }
+}

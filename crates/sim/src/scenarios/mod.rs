@@ -1,0 +1,188 @@
+//! Scenario generators.
+//!
+//! Each module implements one application scenario: a fast path plus a
+//! menu of injectable cost-propagation problems, with scenario-specific
+//! driver emphasis matching the paper's Table 4. [`all`] returns the full
+//! registry; [`selected`] the eight evaluation scenarios of Table 1.
+
+pub mod common;
+
+pub mod app_access_control;
+pub mod app_non_responsive;
+pub mod browser_frame_create;
+pub mod browser_tab_close;
+pub mod browser_tab_create;
+pub mod browser_tab_switch;
+mod fillers;
+pub mod menu_display;
+pub mod web_page_navigation;
+
+pub use fillers::{app_startup, device_resume, document_save, file_copy, ui_animation};
+
+use crate::engine::Machine;
+use crate::env::Env;
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// A generator building one scenario instance on a machine, returning the
+/// initiating thread id.
+pub type BuildFn = fn(&mut Machine, &Env, &mut SimRng, TimeNs) -> ThreadId;
+
+/// Registry entry for a scenario generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// Scenario name (unique).
+    pub name: &'static str,
+    /// Developer-specified thresholds.
+    pub thresholds: Thresholds,
+    /// Sampling weight, proportional to the paper's Table-1 instance
+    /// counts (fillers use weights modelling the non-selected scenarios).
+    pub weight: u32,
+    /// The generator function.
+    pub build: BuildFn,
+    /// Whether this scenario is one of the paper's eight selected
+    /// evaluation scenarios.
+    pub selected: bool,
+}
+
+/// The eight selected scenarios (Table 1) plus the filler scenarios used
+/// to model the broader, non-driver-heavy scenario population.
+pub fn all() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: app_access_control::NAME,
+            thresholds: app_access_control::thresholds(),
+            weight: 1547,
+            build: app_access_control::build,
+            selected: true,
+        },
+        ScenarioSpec {
+            name: app_non_responsive::NAME,
+            thresholds: app_non_responsive::thresholds(),
+            weight: 631,
+            build: app_non_responsive::build,
+            selected: true,
+        },
+        ScenarioSpec {
+            name: browser_frame_create::NAME,
+            thresholds: browser_frame_create::thresholds(),
+            weight: 1304,
+            build: browser_frame_create::build,
+            selected: true,
+        },
+        ScenarioSpec {
+            name: browser_tab_close::NAME,
+            thresholds: browser_tab_close::thresholds(),
+            weight: 989,
+            build: browser_tab_close::build,
+            selected: true,
+        },
+        ScenarioSpec {
+            name: browser_tab_create::NAME,
+            thresholds: browser_tab_create::thresholds(),
+            weight: 2491,
+            build: browser_tab_create::build,
+            selected: true,
+        },
+        ScenarioSpec {
+            name: browser_tab_switch::NAME,
+            thresholds: browser_tab_switch::thresholds(),
+            weight: 2182,
+            build: browser_tab_switch::build,
+            selected: true,
+        },
+        ScenarioSpec {
+            name: menu_display::NAME,
+            thresholds: menu_display::thresholds(),
+            weight: 743,
+            build: menu_display::build,
+            selected: true,
+        },
+        ScenarioSpec {
+            name: web_page_navigation::NAME,
+            thresholds: web_page_navigation::thresholds(),
+            weight: 7725,
+            build: web_page_navigation::build,
+            selected: true,
+        },
+        ScenarioSpec {
+            name: app_startup::NAME,
+            thresholds: app_startup::thresholds(),
+            weight: 9000,
+            build: app_startup::build,
+            selected: false,
+        },
+        ScenarioSpec {
+            name: ui_animation::NAME,
+            thresholds: ui_animation::thresholds(),
+            weight: 8000,
+            build: ui_animation::build,
+            selected: false,
+        },
+        ScenarioSpec {
+            name: document_save::NAME,
+            thresholds: document_save::thresholds(),
+            weight: 6000,
+            build: document_save::build,
+            selected: false,
+        },
+        ScenarioSpec {
+            name: file_copy::NAME,
+            thresholds: file_copy::thresholds(),
+            weight: 2500,
+            build: file_copy::build,
+            selected: false,
+        },
+        ScenarioSpec {
+            name: device_resume::NAME,
+            thresholds: device_resume::thresholds(),
+            weight: 1500,
+            build: device_resume::build,
+            selected: false,
+        },
+    ]
+}
+
+/// The eight selected evaluation scenarios, in Table-1 order.
+pub fn selected() -> Vec<ScenarioSpec> {
+    all().into_iter().filter(|s| s.selected).collect()
+}
+
+/// Looks up one scenario by name.
+pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::ScenarioName;
+
+    #[test]
+    fn registry_matches_table1() {
+        let sel = selected();
+        assert_eq!(sel.len(), 8);
+        let names: Vec<&str> = sel.iter().map(|s| s.name).collect();
+        assert_eq!(names, ScenarioName::SELECTED);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let specs = all();
+        let names: std::collections::HashSet<_> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert!(by_name("BrowserTabCreate").is_some());
+        assert!(by_name("NoSuchScenario").is_none());
+    }
+
+    #[test]
+    fn weights_follow_paper_magnitudes() {
+        let wpn = by_name("WebPageNavigation").unwrap();
+        let anr = by_name("AppNonResponsive").unwrap();
+        assert!(wpn.weight > anr.weight * 10);
+    }
+}

@@ -1,0 +1,139 @@
+//! `WebPageNavigation` — navigating the browser to a new page.
+//!
+//! The highest-volume scenario (Table 1: 7,725 instances) with the lowest
+//! slow fraction: most navigations are healthy network + cache work, with
+//! occasional file-system chains, network stalls, encrypted reads, and
+//! disk-protection halts.
+
+use super::common::{self, ms, pid};
+use crate::engine::Machine;
+use crate::env::{sig, Env};
+use crate::program::{HwRequest, ProgramBuilder};
+use crate::rng::SimRng;
+use tracelens_model::{ThreadId, Thresholds, TimeNs};
+
+/// Scenario name.
+pub const NAME: &str = "WebPageNavigation";
+
+/// Thresholds: fast < 400 ms, slow > 800 ms.
+pub fn thresholds() -> Thresholds {
+    Thresholds::new(ms(400), ms(800))
+}
+
+/// Adds one instance to the machine; returns the initiating thread id.
+pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> ThreadId {
+    common::ambient_noise(m, env, rng, start);
+    let roll = rng.unit();
+    if roll < 0.09 {
+        common::spawn_fig1_chain(m, env, rng, start, (450, 1100));
+    } else if roll < 0.15 {
+        let service = rng.lognormal_time(ms(650), 0.5);
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "netsvc!Worker",
+            &[sig::NET_SEND],
+            env.net_queue,
+            HwRequest::plain(env.net, service),
+        );
+    } else if roll < 0.18 {
+        let service = rng.time_in(ms(450), ms(1000));
+        common::spawn_holder_with_request(
+            m,
+            rng,
+            start,
+            pid::SYSTEM,
+            "system!Worker",
+            &[sig::FS_ACQUIRE_MDU, sig::DP_HALT_IO],
+            env.mdu,
+            HwRequest::plain(env.disk, service),
+        );
+    }
+
+    // Half the navigations delegate resource loading to a renderer
+    // worker and await its completion: the instance's driver chains then
+    // hang below an application-level wait, as in real browsers.
+    let renderer_done = if rng.chance(0.5) {
+        let done = m.add_cond();
+        let mut w = ProgramBuilder::new("browser!Renderer");
+        w = w.idle(rng.time_in(ms(1), ms(5)));
+        w = common::network_fetch(w, env, rng, 35, 0.7);
+        if rng.chance(0.5) {
+            w = common::file_table_query(w, env, rng);
+        }
+        if rng.chance(0.5) {
+            w = common::direct_disk_read(w, env, rng, 5, 0.7);
+        }
+        w = w.notify(done);
+        let program = w.build().expect("renderer program is well-formed");
+        m.add_thread(pid::BROWSER, start + ms(4), program);
+        Some(done)
+    } else {
+        None
+    };
+
+    let mut b = ProgramBuilder::new("browser!Navigate");
+    b = common::app_compute(b, rng, 40, 100);
+    b = common::app_critical_section(b, env, rng);
+    b = common::network_fetch(b, env, rng, 35, 0.7);
+    if let Some(done) = renderer_done {
+        b = b.await_cond(done);
+    }
+    if (0.09..0.15).contains(&roll) {
+        b = b
+            .call(sig::NET_RECEIVE)
+            .acquire(env.net_queue)
+            .compute(ms(1))
+            .release(env.net_queue)
+            .ret();
+    }
+    if rng.chance(0.6) {
+        b = common::network_fetch(b, env, rng, 25, 0.7);
+    }
+    if rng.chance(0.5) {
+        b = common::file_table_query(b, env, rng);
+    }
+    if rng.chance(0.4) {
+        b = common::mdu_access(b, env, rng);
+    }
+    if rng.chance(0.5) {
+        b = common::direct_disk_read(b, env, rng, 5, 0.7);
+    }
+    if (0.18..0.21).contains(&roll) {
+        // Occasionally the page's cached payload sits on encrypted storage.
+        b = common::encrypted_disk_read(b, env, rng.time_in(ms(450), ms(900)), 0.1);
+    }
+    b = common::app_compute(b, rng, 40, 80);
+    let program = b.build().expect("WebPageNavigation program is well-formed");
+    m.add_thread(pid::BROWSER, start + rng.time_in(ms(4), ms(7)), program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::StackTable;
+
+    #[test]
+    fn mostly_fast() {
+        let mut rng = SimRng::seed_from(51);
+        let th = thresholds();
+        let (mut fast, mut slow) = (0, 0);
+        for i in 0..80 {
+            let mut m = Machine::new(i);
+            let env = Env::install(&mut m);
+            let tid = build(&mut m, &env, &mut rng, TimeNs::ZERO);
+            let mut stacks = StackTable::new();
+            let out = m.run(&mut stacks).unwrap();
+            let (t0, t1) = out.span_of(tid).unwrap();
+            match th.classify(t0.saturating_span_to(t1)) {
+                Some(true) => fast += 1,
+                Some(false) => slow += 1,
+                None => {}
+            }
+        }
+        assert!(fast > slow, "navigation should be mostly fast: fast={fast} slow={slow}");
+        assert!(slow >= 3, "but some slow instances must exist: slow={slow}");
+    }
+}

@@ -1,0 +1,520 @@
+//! A text DSL for machine descriptions (`.tsim`).
+//!
+//! Lets users script an incident reproduction — locks, devices, threads
+//! and their op sequences — without writing Rust, and run it through the
+//! CLI (`tracelens run`). The Figure-1 case fits in ~40 lines:
+//!
+//! ```text
+//! # figure-1 in the machine DSL
+//! lock   mdu
+//! lock   file_table
+//! device disk DiskService!Transfer
+//!
+//! thread cm_worker pid=3 start=0ms root=cm!Worker
+//!   call fs.sys!AcquireMDU
+//!   acquire mdu
+//!   request disk 500ms post=se.sys!ReadDecrypt:80ms
+//!   release mdu
+//!   ret
+//!
+//! thread ui pid=1 start=10ms root=browser!TabCreate
+//!   compute 20ms
+//!   call fv.sys!QueryFileTable
+//!   acquire file_table
+//!   compute 2ms
+//!   release file_table
+//!   ret
+//!   compute 40ms
+//!
+//! instance BrowserTabCreate thread=ui fast=300ms slow=500ms
+//! ```
+//!
+//! Top-level statements: `lock NAME`, `cond NAME`, `cores N`,
+//! `device NAME SERVICE_FRAME`, `thread NAME [pid=N] [start=DUR]
+//! [root=FRAME]`, `instance SCENARIO thread=NAME fast=DUR slow=DUR`.
+//! Thread-body ops: `call FRAME`, `ret`, `compute DUR`, `idle DUR`,
+//! `acquire L`, `acquire_shared L`, `release L`, `await C`, `notify C`,
+//! `request DEV DUR [post=FRAME:DUR]`.
+//!
+//! Grammar: one statement per line; blank lines and `#` comments are
+//! ignored. Thread bodies are the indented(-or-not) op lines following a
+//! `thread` header, terminated by the next top-level keyword. Durations
+//! accept `ns`, `us`, `ms`, `s` suffixes.
+
+use crate::engine::{DeviceSpec, Machine};
+use crate::program::{HwRequest, ProgramBuilder};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use tracelens_model::{
+    Dataset, ProcessId, Scenario, ScenarioInstance, ScenarioName, ThreadId, Thresholds, TimeNs,
+};
+
+/// Error with the 1-based line number where parsing or building failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// 1-based line number (0 for end-of-file problems).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "script error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ScriptError {}
+
+/// Parses a machine script and runs it, producing a single-trace
+/// [`Dataset`] with the declared scenario instances.
+///
+/// # Errors
+///
+/// Returns a [`ScriptError`] for unknown keywords, undeclared names,
+/// malformed durations, invalid programs, or a deadlocking machine.
+pub fn run_script(text: &str) -> Result<Dataset, ScriptError> {
+    let parsed = parse(text)?;
+    let mut ds = Dataset::new();
+    let out = parsed
+        .machine
+        .run(&mut ds.stacks)
+        .map_err(|e| ScriptError {
+            line: 0,
+            message: format!("simulation failed: {e}"),
+        })?;
+    for decl in parsed.instances {
+        let (t0, t1) = out.span_of(decl.tid).ok_or_else(|| ScriptError {
+            line: decl.line,
+            message: "instance thread was not simulated".to_owned(),
+        })?;
+        if !ds.scenarios.iter().any(|s| s.name == decl.scenario) {
+            ds.scenarios
+                .push(Scenario::new(decl.scenario.clone(), decl.thresholds));
+        }
+        ds.instances.push(ScenarioInstance {
+            trace: out.stream.id(),
+            scenario: decl.scenario,
+            tid: decl.tid,
+            t0,
+            t1,
+        });
+    }
+    ds.streams.push(out.stream);
+    Ok(ds)
+}
+
+struct InstanceDecl {
+    line: usize,
+    scenario: ScenarioName,
+    tid: ThreadId,
+    thresholds: Thresholds,
+}
+
+struct Parsed {
+    machine: Machine,
+    instances: Vec<InstanceDecl>,
+}
+
+fn parse(text: &str) -> Result<Parsed, ScriptError> {
+    let mut machine = Machine::new(0);
+    let mut locks = HashMap::new();
+    let mut conds = HashMap::new();
+    let mut devices = HashMap::new();
+    let mut threads: HashMap<String, ThreadId> = HashMap::new();
+    let mut instances = Vec::new();
+
+    // Pending thread under construction.
+    struct PendingThread {
+        name: String,
+        pid: ProcessId,
+        start: TimeNs,
+        header_line: usize,
+        builder: ProgramBuilder,
+        depth: usize,
+    }
+    let mut pending: Option<PendingThread> = None;
+
+    let err = |line: usize, message: String| ScriptError { line, message };
+
+    let finish_thread = |machine: &mut Machine,
+                             threads: &mut HashMap<String, ThreadId>,
+                             p: PendingThread|
+     -> Result<(), ScriptError> {
+        let mut b = p.builder;
+        for _ in 0..p.depth {
+            b = b.ret();
+        }
+        let program = b
+            .build()
+            .map_err(|e| err(p.header_line, format!("thread {:?}: {e}", p.name)))?;
+        let tid = machine.add_thread(p.pid, p.start, program);
+        threads.insert(p.name, tid);
+        Ok(())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let keyword = words[0];
+        let is_top_level = matches!(
+            keyword,
+            "lock" | "cond" | "cores" | "device" | "thread" | "instance"
+        );
+        if is_top_level {
+            if let Some(p) = pending.take() {
+                finish_thread(&mut machine, &mut threads, p)?;
+            }
+        }
+        match keyword {
+            "lock" => {
+                let name = *words
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "lock needs a name".into()))?;
+                locks.insert(name.to_owned(), machine.add_lock());
+            }
+            "cores" => {
+                let n: u32 = arg1(&words, lineno)?
+                    .parse()
+                    .map_err(|_| err(lineno, "cores needs a positive count".into()))?;
+                if n == 0 {
+                    return Err(err(lineno, "cores must be at least 1".into()));
+                }
+                machine.set_cores(n);
+            }
+            "cond" => {
+                let name = *words
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "cond needs a name".into()))?;
+                conds.insert(name.to_owned(), machine.add_cond());
+            }
+            "device" => {
+                let [_, name, frame] = words.as_slice() else {
+                    return Err(err(lineno, "device needs: name service_frame".into()));
+                };
+                devices.insert(
+                    (*name).to_owned(),
+                    machine.add_device(DeviceSpec::new(name, frame)),
+                );
+            }
+            "thread" => {
+                let name = *words
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "thread needs a name".into()))?;
+                if threads.contains_key(name) {
+                    return Err(err(lineno, format!("duplicate thread {name:?}")));
+                }
+                let kv = parse_kv(&words[2..], lineno)?;
+                let pid = ProcessId(
+                    kv.get("pid")
+                        .map(|v| v.parse().map_err(|_| err(lineno, "bad pid".into())))
+                        .transpose()?
+                        .unwrap_or(1),
+                );
+                let start = kv
+                    .get("start")
+                    .map(|v| parse_duration(v, lineno))
+                    .transpose()?
+                    .unwrap_or(TimeNs::ZERO);
+                let root = kv.get("root").copied().unwrap_or("app!Main");
+                pending = Some(PendingThread {
+                    name: name.to_owned(),
+                    pid,
+                    start,
+                    header_line: lineno,
+                    builder: ProgramBuilder::new(root),
+                    depth: 1,
+                });
+            }
+            "instance" => {
+                let name = *words
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "instance needs a scenario name".into()))?;
+                let kv = parse_kv(&words[2..], lineno)?;
+                let thread_name = kv
+                    .get("thread")
+                    .ok_or_else(|| err(lineno, "instance needs thread=NAME".into()))?;
+                let tid = *threads.get(*thread_name).ok_or_else(|| {
+                    err(lineno, format!("unknown thread {thread_name:?}"))
+                })?;
+                let fast = parse_duration(
+                    kv.get("fast")
+                        .ok_or_else(|| err(lineno, "instance needs fast=DUR".into()))?,
+                    lineno,
+                )?;
+                let slow = parse_duration(
+                    kv.get("slow")
+                        .ok_or_else(|| err(lineno, "instance needs slow=DUR".into()))?,
+                    lineno,
+                )?;
+                if fast >= slow {
+                    return Err(err(lineno, "fast threshold must be below slow".into()));
+                }
+                instances.push(InstanceDecl {
+                    line: lineno,
+                    scenario: ScenarioName::new(name),
+                    tid,
+                    thresholds: Thresholds::new(fast, slow),
+                });
+            }
+            // --- thread-body ops ---
+            op => {
+                let Some(p) = pending.as_mut() else {
+                    return Err(err(lineno, format!("op {op:?} outside a thread body")));
+                };
+                let b = std::mem::take(&mut p.builder);
+                p.builder = match op {
+                    "call" => {
+                        p.depth += 1;
+                        b.call(arg1(&words, lineno)?)
+                    }
+                    "ret" => {
+                        if p.depth == 0 {
+                            return Err(err(lineno, "ret underflows the callstack".into()));
+                        }
+                        p.depth -= 1;
+                        b.ret()
+                    }
+                    "compute" => b.compute(parse_duration(arg1(&words, lineno)?, lineno)?),
+                    "idle" => b.idle(parse_duration(arg1(&words, lineno)?, lineno)?),
+                    "acquire" => b.acquire(*locks.get(arg1(&words, lineno)?).ok_or_else(
+                        || err(lineno, format!("unknown lock {:?}", words[1])),
+                    )?),
+                    "acquire_shared" => b.acquire_shared(
+                        *locks.get(arg1(&words, lineno)?).ok_or_else(|| {
+                            err(lineno, format!("unknown lock {:?}", words[1]))
+                        })?,
+                    ),
+                    "release" => b.release(*locks.get(arg1(&words, lineno)?).ok_or_else(
+                        || err(lineno, format!("unknown lock {:?}", words[1])),
+                    )?),
+                    "await" => b.await_cond(*conds.get(arg1(&words, lineno)?).ok_or_else(
+                        || err(lineno, format!("unknown cond {:?}", words[1])),
+                    )?),
+                    "notify" => b.notify(*conds.get(arg1(&words, lineno)?).ok_or_else(
+                        || err(lineno, format!("unknown cond {:?}", words[1])),
+                    )?),
+                    "request" => {
+                        // request DEVICE DURATION [post=FRAME:DURATION]
+                        let dev = *devices.get(arg1(&words, lineno)?).ok_or_else(|| {
+                            err(lineno, format!("unknown device {:?}", words[1]))
+                        })?;
+                        let service = parse_duration(
+                            words.get(2).ok_or_else(|| {
+                                err(lineno, "request needs a service duration".into())
+                            })?,
+                            lineno,
+                        )?;
+                        let mut req = HwRequest::plain(dev, service);
+                        if let Some(post) = words.get(3) {
+                            let spec = post.strip_prefix("post=").ok_or_else(|| {
+                                err(lineno, "expected post=FRAME:DURATION".into())
+                            })?;
+                            let (frame, dur) = spec.split_once(':').ok_or_else(|| {
+                                err(lineno, "expected post=FRAME:DURATION".into())
+                            })?;
+                            req.post_frames = vec![frame.to_owned()];
+                            req.post_compute = parse_duration(dur, lineno)?;
+                        }
+                        b.request(req)
+                    }
+                    other => {
+                        return Err(err(lineno, format!("unknown op {other:?}")));
+                    }
+                };
+            }
+        }
+    }
+    if let Some(p) = pending.take() {
+        finish_thread(&mut machine, &mut threads, p)?;
+    }
+    Ok(Parsed { machine, instances })
+}
+
+fn arg1<'a>(words: &[&'a str], lineno: usize) -> Result<&'a str, ScriptError> {
+    words.get(1).copied().ok_or_else(|| ScriptError {
+        line: lineno,
+        message: format!("{:?} needs an argument", words[0]),
+    })
+}
+
+fn parse_kv<'a>(
+    words: &[&'a str],
+    lineno: usize,
+) -> Result<HashMap<&'a str, &'a str>, ScriptError> {
+    let mut kv = HashMap::new();
+    for w in words {
+        let (k, v) = w.split_once('=').ok_or_else(|| ScriptError {
+            line: lineno,
+            message: format!("expected key=value, got {w:?}"),
+        })?;
+        kv.insert(k, v);
+    }
+    Ok(kv)
+}
+
+/// Parses `123ns`, `45us`, `6ms`, `7s` (integers only).
+fn parse_duration(text: &str, lineno: usize) -> Result<TimeNs, ScriptError> {
+    let bad = || ScriptError {
+        line: lineno,
+        message: format!("invalid duration {text:?} (use e.g. 250ms, 3s, 80us)"),
+    };
+    let (digits, mult) = if let Some(d) = text.strip_suffix("ns") {
+        (d, 1u64)
+    } else if let Some(d) = text.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = text.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = text.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        return Err(bad());
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    Ok(TimeNs(n * mult))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::EventKind;
+
+    const FIG1: &str = r#"
+# figure-1 miniature
+lock   mdu
+lock   file_table
+device disk DiskService!Transfer
+
+thread cm_worker pid=3 start=0ms root=cm!Worker
+  call fs.sys!AcquireMDU
+  acquire mdu
+  request disk 500ms post=se.sys!ReadDecrypt:80ms
+  release mdu
+  ret
+
+thread bridge pid=1 start=2ms root=browser!Worker
+  call fv.sys!QueryFileTable
+  acquire file_table
+  call fs.sys!AcquireMDU
+  acquire mdu
+  compute 2ms
+  release mdu
+  ret
+  release file_table
+
+thread ui pid=1 start=10ms root=browser!TabCreate
+  compute 20ms
+  call fv.sys!QueryFileTable
+  acquire file_table
+  compute 2ms
+  release file_table
+  ret
+  compute 40ms
+
+instance BrowserTabCreate thread=ui fast=300ms slow=500ms
+"#;
+
+    #[test]
+    fn figure1_script_runs_and_reproduces_the_chain() {
+        let ds = run_script(FIG1).expect("script runs");
+        assert_eq!(ds.streams.len(), 1);
+        assert_eq!(ds.instances.len(), 1);
+        let inst = &ds.instances[0];
+        assert_eq!(inst.scenario.as_str(), "BrowserTabCreate");
+        // The UI thread is pinned behind the 580ms chain.
+        assert!(inst.duration() > TimeNs::from_millis(550));
+        // The hardware event and the decryption samples exist.
+        let stream = &ds.streams[0];
+        assert!(stream
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::HardwareService));
+        assert!(ds.validate().is_ok());
+    }
+
+    #[test]
+    fn durations_parse_all_units() {
+        assert_eq!(parse_duration("5ns", 1).unwrap(), TimeNs(5));
+        assert_eq!(parse_duration("5us", 1).unwrap(), TimeNs(5_000));
+        assert_eq!(parse_duration("5ms", 1).unwrap(), TimeNs(5_000_000));
+        assert_eq!(parse_duration("5s", 1).unwrap(), TimeNs(5_000_000_000));
+        assert!(parse_duration("5", 1).is_err());
+        assert!(parse_duration("xms", 1).is_err());
+        assert!(parse_duration("", 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = run_script("frobnicate everything\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = run_script("thread t\n  acquire nope\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown lock"));
+        let e = run_script("compute 5ms\n").unwrap_err();
+        assert!(e.message.contains("outside a thread body"));
+    }
+
+    #[test]
+    fn instance_requires_known_thread() {
+        let e = run_script("instance X thread=ghost fast=1ms slow=2ms\n").unwrap_err();
+        assert!(e.message.contains("unknown thread"));
+    }
+
+    #[test]
+    fn unbalanced_calls_are_auto_closed() {
+        // A thread body ending inside a call is closed implicitly.
+        let ds = run_script(
+            "thread t root=a!Main\n  call b!Inner\n  compute 1ms\ninstance S thread=t fast=1ms slow=2ms\n",
+        )
+        .expect("auto-closed");
+        assert_eq!(ds.instances.len(), 1);
+    }
+
+    #[test]
+    fn shared_acquisition_in_scripts() {
+        let ds = run_script(
+            "lock l\nthread a root=x!A\n  acquire_shared l\n  compute 5ms\n  release l\nthread b root=x!B\n  acquire_shared l\n  compute 5ms\n  release l\ninstance S thread=a fast=20ms slow=40ms\n",
+        )
+        .unwrap();
+        // Readers overlap: no wait events.
+        assert!(ds.streams[0]
+            .events()
+            .iter()
+            .all(|e| e.kind != EventKind::Wait));
+    }
+
+    #[test]
+    fn cores_in_scripts() {
+        let ds = run_script(
+            "cores 1\nthread a root=x!A\n  compute 10ms\nthread b root=x!B\n  compute 10ms\ninstance S thread=b fast=5ms slow=15ms\n",
+        )
+        .unwrap();
+        // With one core the second thread waits in the ready queue.
+        assert_eq!(ds.instances[0].duration(), TimeNs::from_millis(20));
+        assert!(run_script("cores 0\n").is_err());
+        assert!(run_script("cores x\n").is_err());
+    }
+
+    #[test]
+    fn conds_in_scripts() {
+        let ds = run_script(
+            "cond done\nthread w root=x!Worker\n  compute 10ms\n  notify done\nthread ui root=x!UI\n  await done\n  compute 2ms\ninstance S thread=ui fast=5ms slow=8ms\n",
+        )
+        .unwrap();
+        assert_eq!(ds.instances[0].duration(), TimeNs::from_millis(12));
+        let e = run_script("thread t root=x!A\n  await ghost\n").unwrap_err();
+        assert!(e.message.contains("unknown cond"));
+    }
+
+    #[test]
+    fn deadlocking_script_is_an_error() {
+        let text = "lock a\nlock b\nthread t1 root=x!A\n  acquire a\n  compute 5ms\n  acquire b\n  release b\n  release a\nthread t2 root=x!B\n  acquire b\n  compute 5ms\n  acquire a\n  release a\n  release b\n";
+        let e = run_script(text).unwrap_err();
+        assert!(e.message.contains("deadlock"), "{e}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Data-set generation: many traces, each a machine session with several
+//! overlapping scenario instances.
+//!
+//! Instances within one trace share the machine's locks and devices, so a
+//! problem injected for one instance entangles the others — the source of
+//! the cross-instance cost propagation the `IA_opt` metric measures.
+
+use crate::engine::Machine;
+use crate::env::Env;
+use crate::rng::SimRng;
+use crate::scenarios::{self, ScenarioSpec};
+use tracelens_model::{Dataset, Scenario, ScenarioInstance, ScenarioName, TimeNs};
+
+/// Which scenarios a data set draws from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioMix {
+    /// All scenarios (the eight selected plus the fillers), weighted —
+    /// the full-population mix used for impact analysis.
+    Full,
+    /// Only the eight selected evaluation scenarios, weighted — the mix
+    /// used for the causality evaluation (Tables 1–4).
+    Selected,
+    /// Only the named scenarios, with equal weights.
+    Only(Vec<String>),
+}
+
+impl ScenarioMix {
+    fn specs(&self) -> Vec<ScenarioSpec> {
+        match self {
+            ScenarioMix::Full => scenarios::all(),
+            ScenarioMix::Selected => scenarios::selected(),
+            ScenarioMix::Only(names) => names
+                .iter()
+                .map(|n| {
+                    scenarios::by_name(n)
+                        .unwrap_or_else(|| panic!("unknown scenario name {n:?}"))
+                })
+                .map(|mut s| {
+                    s.weight = 1;
+                    s
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Builder producing a [`Dataset`] of simulated traces.
+///
+/// ```
+/// use tracelens_sim::{DatasetBuilder, ScenarioMix};
+/// let ds = DatasetBuilder::new(7)
+///     .traces(3)
+///     .mix(ScenarioMix::Only(vec!["BrowserTabCreate".into()]))
+///     .build();
+/// assert_eq!(ds.streams.len(), 3);
+/// assert!(ds.instances.iter().all(|i| i.scenario.as_str() == "BrowserTabCreate"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    seed: u64,
+    traces: usize,
+    instances_per_trace: (u64, u64),
+    mix: ScenarioMix,
+    start_window_ms: u64,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder with the given seed and defaults: 100 traces,
+    /// 3–6 instances per trace, the full scenario mix, and a 100 ms
+    /// instance start window.
+    pub fn new(seed: u64) -> Self {
+        DatasetBuilder {
+            seed,
+            traces: 100,
+            instances_per_trace: (3, 6),
+            mix: ScenarioMix::Full,
+            start_window_ms: 100,
+        }
+    }
+
+    /// Sets the number of trace streams to generate.
+    pub fn traces(mut self, n: usize) -> Self {
+        self.traces = n;
+        self
+    }
+
+    /// Sets the (inclusive) range of scenario instances per trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is zero or `lo > hi`.
+    pub fn instances_per_trace(mut self, lo: u64, hi: u64) -> Self {
+        assert!(lo >= 1 && lo <= hi, "invalid instance range {lo}..={hi}");
+        self.instances_per_trace = (lo, hi);
+        self
+    }
+
+    /// Sets the scenario mix.
+    pub fn mix(mut self, mix: ScenarioMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the window (in milliseconds) within which instance start
+    /// times are spread; smaller windows mean more entanglement.
+    pub fn start_window_ms(mut self, ms: u64) -> Self {
+        self.start_window_ms = ms;
+        self
+    }
+
+    /// Generates the data set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scenario generator produces a deadlocking machine —
+    /// an internal invariant violation (generators follow a global lock
+    /// order), not an input condition.
+    pub fn build(self) -> Dataset {
+        let specs = self.mix.specs();
+        assert!(!specs.is_empty(), "scenario mix is empty");
+        let total_weight: u64 = specs.iter().map(|s| s.weight as u64).sum();
+        let mut root = SimRng::seed_from(self.seed);
+        let mut ds = Dataset::new();
+
+        for spec in &specs {
+            ds.scenarios.push(Scenario::new(
+                ScenarioName::new(spec.name),
+                spec.thresholds,
+            ));
+        }
+
+        for trace_idx in 0..self.traces {
+            let mut rng = root.fork();
+            let mut machine = Machine::new(trace_idx as u32);
+            let env = Env::install(&mut machine);
+            let k = rng.int_in(self.instances_per_trace.0, self.instances_per_trace.1);
+            let mut pending = Vec::with_capacity(k as usize);
+            for _ in 0..k {
+                let spec = pick_weighted(&specs, total_weight, &mut rng);
+                let start = rng.time_in(TimeNs::ZERO, TimeNs::from_millis(self.start_window_ms));
+                let tid = (spec.build)(&mut machine, &env, &mut rng, start);
+                pending.push((spec.name, tid));
+            }
+            let out = machine
+                .run(&mut ds.stacks)
+                .expect("scenario generators must not deadlock");
+            for (name, tid) in pending {
+                let (t0, t1) = out
+                    .span_of(tid)
+                    .expect("initiating thread was simulated");
+                ds.instances.push(ScenarioInstance {
+                    trace: out.stream.id(),
+                    scenario: ScenarioName::new(name),
+                    tid,
+                    t0,
+                    t1,
+                });
+            }
+            ds.streams.push(out.stream);
+        }
+        ds
+    }
+}
+
+fn pick_weighted<'a>(
+    specs: &'a [ScenarioSpec],
+    total_weight: u64,
+    rng: &mut SimRng,
+) -> &'a ScenarioSpec {
+    let mut x = rng.int_in(0, total_weight.saturating_sub(1));
+    for s in specs {
+        let w = s.weight as u64;
+        if x < w {
+            return s;
+        }
+        x -= w;
+    }
+    specs.last().expect("specs nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_model::EventKind;
+
+    #[test]
+    fn builds_requested_trace_count() {
+        let ds = DatasetBuilder::new(1).traces(4).build();
+        assert_eq!(ds.streams.len(), 4);
+        assert!(ds.instances.len() >= 4 * 3);
+        assert!(ds.instances.len() <= 4 * 6);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = DatasetBuilder::new(9).traces(3).build();
+        let b = DatasetBuilder::new(9).traces(3).build();
+        assert_eq!(a.instances.len(), b.instances.len());
+        for (x, y) in a.instances.iter().zip(&b.instances) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.total_events(), b.total_events());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetBuilder::new(1).traces(3).build();
+        let b = DatasetBuilder::new(2).traces(3).build();
+        // Event counts colliding across all 3 traces is vanishingly
+        // unlikely with different workloads.
+        assert_ne!(a.total_events(), b.total_events());
+    }
+
+    #[test]
+    fn selected_mix_only_uses_table1_scenarios() {
+        let ds = DatasetBuilder::new(3)
+            .traces(6)
+            .mix(ScenarioMix::Selected)
+            .build();
+        for i in &ds.instances {
+            assert!(tracelens_model::ScenarioName::SELECTED
+                .contains(&i.scenario.as_str()));
+        }
+        assert_eq!(ds.scenarios.len(), 8);
+    }
+
+    #[test]
+    fn streams_contain_all_four_event_kinds() {
+        let ds = DatasetBuilder::new(4).traces(20).build();
+        let mut kinds = std::collections::HashSet::new();
+        for s in &ds.streams {
+            for e in s.events() {
+                kinds.insert(e.kind);
+            }
+        }
+        assert!(kinds.contains(&EventKind::Running));
+        assert!(kinds.contains(&EventKind::Wait));
+        assert!(kinds.contains(&EventKind::Unwait));
+        assert!(kinds.contains(&EventKind::HardwareService));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario name")]
+    fn unknown_scenario_panics() {
+        let _ = DatasetBuilder::new(0)
+            .mix(ScenarioMix::Only(vec!["Nope".into()]))
+            .build();
+    }
+
+    #[test]
+    fn instance_spans_are_ordered() {
+        let ds = DatasetBuilder::new(5).traces(5).build();
+        for i in &ds.instances {
+            assert!(i.t0 <= i.t1, "instance {i:?}");
+            assert!(i.duration() > TimeNs::ZERO);
+        }
+    }
+}

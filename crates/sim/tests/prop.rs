@@ -1,0 +1,302 @@
+//! Property-based tests for the simulator: program validation against a
+//! reference checker, and engine conservation laws on randomized
+//! workloads.
+
+use proptest::prelude::*;
+use tracelens_model::{EventKind, ProcessId, StackTable, TimeNs};
+use tracelens_sim::{DeviceSpec, HwRequest, LockId, Machine, Op, Program, ProgramBuilder};
+
+#[derive(Debug, Clone)]
+enum RawOp {
+    Call,
+    Ret,
+    Compute(u8),
+    Acquire(u8),
+    Release(u8),
+    Idle(u8),
+}
+
+fn raw_op() -> impl Strategy<Value = RawOp> {
+    prop_oneof![
+        Just(RawOp::Call),
+        Just(RawOp::Ret),
+        (1u8..10).prop_map(RawOp::Compute),
+        (0u8..3).prop_map(RawOp::Acquire),
+        (0u8..3).prop_map(RawOp::Release),
+        (1u8..10).prop_map(RawOp::Idle),
+    ]
+}
+
+fn to_builder(ops: &[RawOp]) -> ProgramBuilder {
+    let mut b = ProgramBuilder::bare();
+    for op in ops {
+        b = match op {
+            RawOp::Call => b.call("m.sys!F"),
+            RawOp::Ret => b.ret(),
+            RawOp::Compute(d) => b.compute(TimeNs(*d as u64 * 1000)),
+            RawOp::Acquire(l) => b.acquire(LockId(*l as u32)),
+            RawOp::Release(l) => b.release(LockId(*l as u32)),
+            RawOp::Idle(d) => b.idle(TimeNs(*d as u64 * 1000)),
+        };
+    }
+    b
+}
+
+/// Reference validity check mirroring the documented rules.
+fn reference_valid(ops: &[RawOp]) -> bool {
+    let mut depth = 0i64;
+    let mut held = [false; 3];
+    for op in ops {
+        match op {
+            RawOp::Call => depth += 1,
+            RawOp::Ret => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            RawOp::Acquire(l) => {
+                if held[*l as usize] {
+                    return false;
+                }
+                held[*l as usize] = true;
+            }
+            RawOp::Release(l) => {
+                if !held[*l as usize] {
+                    return false;
+                }
+                held[*l as usize] = false;
+            }
+            _ => {}
+        }
+    }
+    !held.iter().any(|&h| h)
+}
+
+proptest! {
+    #[test]
+    fn program_validation_matches_reference(
+        ops in prop::collection::vec(raw_op(), 0..25)
+    ) {
+        let result = to_builder(&ops).build();
+        prop_assert_eq!(result.is_ok(), reference_valid(&ops));
+    }
+
+    #[test]
+    fn cpu_time_is_conserved_in_running_events(
+        durations in prop::collection::vec(1u64..40, 1..8)
+    ) {
+        // One thread per duration, pure compute: the emitted running
+        // samples must sum exactly to the requested CPU time.
+        let mut machine = Machine::new(0);
+        let mut expected = TimeNs::ZERO;
+        for (i, &d_ms) in durations.iter().enumerate() {
+            let d = TimeNs::from_millis(d_ms);
+            expected += d;
+            machine.add_thread(
+                ProcessId(1),
+                TimeNs::from_millis(i as u64),
+                ProgramBuilder::new("app!T").compute(d).build().unwrap(),
+            );
+        }
+        let mut stacks = StackTable::new();
+        let out = machine.run(&mut stacks).unwrap();
+        let total: TimeNs = out
+            .stream
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Running)
+            .map(|e| e.cost)
+            .sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn ordered_lock_acquisition_never_deadlocks(
+        threads in prop::collection::vec(
+            (prop::collection::btree_set(0u32..4, 0..4), 1u64..10, 0u64..20),
+            1..8
+        )
+    ) {
+        // Every thread acquires an arbitrary SET of locks in ascending
+        // id order (the global order discipline); this must always
+        // complete, whatever the interleaving.
+        let mut machine = Machine::new(0);
+        for _ in 0..4 {
+            machine.add_lock();
+        }
+        for (locks, hold_ms, start_ms) in &threads {
+            let mut b = ProgramBuilder::new("app!T");
+            for &l in locks {
+                b = b.acquire(LockId(l));
+            }
+            b = b.compute(TimeNs::from_millis(*hold_ms));
+            for &l in locks.iter().rev() {
+                b = b.release(LockId(l));
+            }
+            machine.add_thread(
+                ProcessId(1),
+                TimeNs::from_millis(*start_ms),
+                b.build().unwrap(),
+            );
+        }
+        let mut stacks = StackTable::new();
+        let out = machine.run(&mut stacks);
+        prop_assert!(out.is_ok(), "deadlock under ordered acquisition");
+        // Wait/unwait events pair up exactly.
+        let stream = out.unwrap().stream;
+        let waits = stream.events().iter().filter(|e| e.kind == EventKind::Wait).count();
+        let unwaits = stream.events().iter().filter(|e| e.kind == EventKind::Unwait).count();
+        prop_assert_eq!(waits, unwaits);
+    }
+
+    #[test]
+    fn device_requests_serialize_and_conserve_service_time(
+        services in prop::collection::vec(1u64..30, 1..6)
+    ) {
+        let mut machine = Machine::new(0);
+        let disk = machine.add_device(DeviceSpec::new("disk", "DiskService!Transfer"));
+        for (i, &s_ms) in services.iter().enumerate() {
+            machine.add_thread(
+                ProcessId(1),
+                TimeNs::from_millis(i as u64),
+                ProgramBuilder::new("app!T")
+                    .request(HwRequest::plain(disk, TimeNs::from_millis(s_ms)))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let mut stacks = StackTable::new();
+        let out = machine.run(&mut stacks).unwrap();
+        let hw: Vec<_> = out
+            .stream
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::HardwareService)
+            .collect();
+        prop_assert_eq!(hw.len(), services.len());
+        // Total service time conserved.
+        let total: TimeNs = hw.iter().map(|e| e.cost).sum();
+        let expected: TimeNs = services.iter().map(|&s| TimeNs::from_millis(s)).sum();
+        prop_assert_eq!(total, expected);
+        // Single server: hardware intervals never overlap.
+        let mut intervals: Vec<(TimeNs, TimeNs)> = hw.iter().map(|e| (e.t, e.end())).collect();
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlapping device service periods");
+        }
+    }
+
+    #[test]
+    fn uncontended_time_bounds_hold(ops in prop::collection::vec(raw_op(), 0..25)) {
+        if let Ok(program) = to_builder(&ops).build() {
+            // A single thread runs with zero contention: its wall time
+            // equals the program's uncontended lower bound.
+            let expected = program.uncontended_time();
+            let cpu = program.cpu_time();
+            prop_assert!(cpu <= expected);
+            let mut machine = Machine::new(0);
+            // Ensure referenced locks exist.
+            for _ in 0..3 {
+                machine.add_lock();
+            }
+            let tid = machine.add_thread(ProcessId(1), TimeNs::ZERO, clone_program(&program));
+            let mut stacks = StackTable::new();
+            let out = machine.run(&mut stacks).unwrap();
+            let (t0, t1) = out.span_of(tid).unwrap();
+            prop_assert_eq!(t0.saturating_span_to(t1), expected);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reader/writer mixes acquiring a single lock never deadlock, and
+    /// exclusive holds never overlap shared or exclusive holds.
+    #[test]
+    fn rw_lock_mixes_complete_and_exclude(
+        threads in prop::collection::vec(
+            (any::<bool>(), 1u64..12, 0u64..25),
+            1..10
+        )
+    ) {
+        let mut machine = Machine::new(0);
+        let l = machine.add_lock();
+        let mut tids = Vec::new();
+        for (shared, hold_ms, start_ms) in &threads {
+            let b = ProgramBuilder::new(if *shared { "app!Reader" } else { "app!Writer" });
+            let b = if *shared { b.acquire_shared(l) } else { b.acquire(l) };
+            let b = b.compute(TimeNs::from_millis(*hold_ms)).release(l);
+            tids.push((
+                machine.add_thread(
+                    ProcessId(1),
+                    TimeNs::from_millis(*start_ms),
+                    b.build().unwrap(),
+                ),
+                *shared,
+            ));
+        }
+        let mut stacks = StackTable::new();
+        let out = machine.run(&mut stacks);
+        prop_assert!(out.is_ok(), "single-lock RW mix deadlocked");
+        let out = out.unwrap();
+        // Exclusive mutual exclusion: writers' running samples never
+        // overlap any other holder's samples (compute happens only while
+        // holding the lock in these programs).
+        let writer_tids: std::collections::HashSet<_> = tids
+            .iter()
+            .filter(|(_, shared)| !shared)
+            .map(|(t, _)| *t)
+            .collect();
+        let samples: Vec<_> = out
+            .stream
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Running)
+            .collect();
+        for a in &samples {
+            if !writer_tids.contains(&a.tid) {
+                continue;
+            }
+            for b in &samples {
+                if a.tid == b.tid {
+                    continue;
+                }
+                let overlap = a.t < b.end() && b.t < a.end();
+                prop_assert!(
+                    !overlap,
+                    "writer {:?} [{},{}) overlaps {:?} [{},{})",
+                    a.tid, a.t, a.end(), b.tid, b.t, b.end()
+                );
+            }
+        }
+    }
+
+    /// Arbitrary script text never panics the DSL: it either parses and
+    /// simulates or reports a line-tagged error.
+    #[test]
+    fn script_parser_never_panics(text in "[a-z0-9 _!.\n=:#]{0,300}") {
+        let _ = tracelens_sim::script::run_script(&text);
+    }
+}
+
+fn clone_program(p: &Program) -> Program {
+    // Programs are Clone; rebuild via ops to exercise the accessor too.
+    let mut b = ProgramBuilder::bare();
+    for op in p.ops() {
+        b = match op {
+            Op::Call(f) => b.call(f),
+            Op::Ret => b.ret(),
+            Op::Compute(d) => b.compute(*d),
+            Op::Acquire(l) => b.acquire(*l),
+            Op::AcquireShared(l) => b.acquire_shared(*l),
+            Op::Release(l) => b.release(*l),
+            Op::Request(r) => b.request(r.clone()),
+            Op::Await(c) => b.await_cond(*c),
+            Op::Notify(c) => b.notify(*c),
+            Op::Idle(d) => b.idle(*d),
+        };
+    }
+    b.build().expect("clone of a valid program is valid")
+}

@@ -1,0 +1,175 @@
+//! Property-based tests: Wait-Graph construction over randomized streams
+//! must uphold its structural invariants and never panic.
+
+use proptest::prelude::*;
+use tracelens_model::{
+    EventKind, ScenarioInstance, ScenarioName, StackTable, ThreadId, TimeNs, TraceId,
+    TraceStreamBuilder,
+};
+use tracelens_waitgraph::{NodeKind, StreamIndex, WaitGraph};
+
+#[derive(Debug, Clone)]
+enum RawEvent {
+    Running { tid: u8, t: u16, cost: u8 },
+    Wait { tid: u8, t: u16 },
+    Unwait { tid: u8, woken: u8, t: u16 },
+    Hardware { tid: u8, t: u16, cost: u8 },
+}
+
+fn raw_event() -> impl Strategy<Value = RawEvent> {
+    prop_oneof![
+        (0u8..4, 0u16..1000, 1u8..20)
+            .prop_map(|(tid, t, cost)| RawEvent::Running { tid, t, cost }),
+        (0u8..4, 0u16..1000).prop_map(|(tid, t)| RawEvent::Wait { tid, t }),
+        (0u8..4, 0u8..4, 0u16..1000).prop_map(|(tid, woken, t)| RawEvent::Unwait {
+            tid,
+            woken,
+            t
+        }),
+        (0u8..4, 0u16..1000, 1u8..20)
+            .prop_map(|(tid, t, cost)| RawEvent::Hardware { tid, t, cost }),
+    ]
+}
+
+/// Builds a valid stream from arbitrary raw events (self-unwaits are
+/// redirected to the next thread id to satisfy validation).
+fn build_stream(events: &[RawEvent], stacks: &mut StackTable) -> tracelens_model::TraceStream {
+    let s = stacks.intern_symbols(&["mod.sys!Fn", "kernel!Op"]);
+    let mut b = TraceStreamBuilder::new(0);
+    for e in events {
+        match *e {
+            RawEvent::Running { tid, t, cost } => {
+                b.push_running(ThreadId(tid as u32), TimeNs(t as u64), TimeNs(cost as u64), s);
+            }
+            RawEvent::Wait { tid, t } => {
+                b.push_wait(ThreadId(tid as u32), TimeNs(t as u64), TimeNs::ZERO, s);
+            }
+            RawEvent::Unwait { tid, woken, t } => {
+                let woken = if woken == tid { (tid + 1) % 4 } else { woken };
+                b.push_unwait(
+                    ThreadId(tid as u32),
+                    ThreadId(woken as u32),
+                    TimeNs(t as u64),
+                    s,
+                );
+            }
+            RawEvent::Hardware { tid, t, cost } => {
+                b.push_hardware(ThreadId(tid as u32), TimeNs(t as u64), TimeNs(cost as u64), s);
+            }
+        }
+    }
+    b.finish().expect("builder output is valid")
+}
+
+fn instance(tid: u8) -> ScenarioInstance {
+    ScenarioInstance {
+        trace: TraceId(0),
+        scenario: ScenarioName::new("P"),
+        tid: ThreadId(tid as u32),
+        t0: TimeNs(0),
+        t1: TimeNs(2000),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn construction_never_panics_and_holds_invariants(
+        events in prop::collection::vec(raw_event(), 0..60),
+        tid in 0u8..4,
+    ) {
+        let mut stacks = StackTable::new();
+        let stream = build_stream(&events, &mut stacks);
+        let index = StreamIndex::new(&stream);
+        let graph = WaitGraph::build(&stream, &index, &instance(tid));
+
+        for (_, id) in graph.dfs() {
+            let node = graph.node(id);
+            // Only wait nodes have children (edges start at wait events).
+            if !node.kind.is_wait() {
+                prop_assert!(node.children.is_empty());
+            }
+            // Nodes reference real events of the right kind.
+            let e = stream.event(node.event).expect("node references an event");
+            match node.kind {
+                NodeKind::Running => prop_assert_eq!(e.kind, EventKind::Running),
+                NodeKind::Hardware => prop_assert_eq!(e.kind, EventKind::HardwareService),
+                NodeKind::Wait { .. } | NodeKind::UnpairedWait => {
+                    prop_assert_eq!(e.kind, EventKind::Wait)
+                }
+            }
+            prop_assert_eq!(e.tid, node.tid);
+
+            // Paired waits: duration equals the pairing span; children
+            // belong to the signalling thread and overlap the interval.
+            if let NodeKind::Wait { unwait, unwait_tid, .. } = node.kind {
+                let u = stream.event(unwait).expect("unwait exists");
+                prop_assert_eq!(u.kind, EventKind::Unwait);
+                prop_assert_eq!(u.wtid, Some(node.tid));
+                prop_assert_eq!(node.duration, node.t.saturating_span_to(u.t));
+                for &c in &node.children {
+                    let child = graph.node(c);
+                    prop_assert_eq!(child.tid, unwait_tid);
+                    // Child starts before the wait resolves.
+                    prop_assert!(child.t < u.t || node.duration == TimeNs::ZERO);
+                }
+            }
+        }
+
+        // Roots belong to the initiating thread.
+        for &r in graph.roots() {
+            prop_assert_eq!(graph.node(r).tid, ThreadId(tid as u32));
+        }
+    }
+
+    #[test]
+    fn index_effective_ends_cover_costs(
+        events in prop::collection::vec(raw_event(), 0..60),
+    ) {
+        let mut stacks = StackTable::new();
+        let stream = build_stream(&events, &mut stacks);
+        let index = StreamIndex::new(&stream);
+        for (i, e) in stream.events().iter().enumerate() {
+            let id = tracelens_model::EventId(i as u32);
+            let end = index.effective_end(id);
+            if e.kind == EventKind::Wait {
+                // Paired waits end at the unwait; unpaired at their start.
+                prop_assert!(end >= e.t);
+            } else {
+                prop_assert_eq!(end, e.end());
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_query_agrees_with_naive_scan(
+        events in prop::collection::vec(raw_event(), 0..60),
+        from in 0u64..1500,
+        len in 1u64..400,
+        tid in 0u8..4,
+    ) {
+        let mut stacks = StackTable::new();
+        let stream = build_stream(&events, &mut stacks);
+        let index = StreamIndex::new(&stream);
+        let (from, to) = (TimeNs(from), TimeNs(from + len));
+        let got = index.thread_events_overlapping(&stream, ThreadId(tid as u32), from, to);
+        // Naive reference: per-thread events whose [t, effective_end)
+        // intersects [from, to) — modulo the contiguity assumption the
+        // index exploits, the fast path must never return wrong events
+        // and never miss events that *start* inside the window.
+        for &id in &got {
+            let e = stream.event(id).unwrap();
+            prop_assert_eq!(e.tid, ThreadId(tid as u32));
+            prop_assert!(e.t < to);
+        }
+        for (i, e) in stream.events().iter().enumerate() {
+            if e.tid == ThreadId(tid as u32) && e.t >= from && e.t < to {
+                prop_assert!(
+                    got.contains(&tracelens_model::EventId(i as u32)),
+                    "event starting in window missed"
+                );
+            }
+        }
+    }
+}

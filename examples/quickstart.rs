@@ -1,0 +1,59 @@
+//! Quickstart: generate a synthetic trace data set, measure driver
+//! impact, and mine contrast patterns for one scenario.
+//!
+//! Run with: `cargo run --release -p tracelens --example quickstart`
+
+use tracelens::prelude::*;
+
+fn main() {
+    // 1. A data set of 80 simulated machine traces (ETW-shaped streams
+    //    with running / wait / unwait / hardware-service events). In a
+    //    real deployment this would come from your tracing
+    //    infrastructure; the schema is `tracelens::model::TraceStream`.
+    let ds = DatasetBuilder::new(42).traces(80).build();
+    println!(
+        "data set: {} traces, {} scenario instances, {} events\n",
+        ds.streams.len(),
+        ds.instances.len(),
+        ds.total_events()
+    );
+
+    // 2. Impact analysis: how much of overall scenario time do device
+    //    drivers (*.sys) spend running vs. keeping others waiting?
+    let impact = ImpactAnalyzer::new(ComponentFilter::suffix(".sys")).analyze(&ds);
+    println!("impact analysis over all instances:\n{impact}\n");
+    println!(
+        "→ drivers block {:.1}% of scenario time but compute only {:.1}%, and {:.1}% \
+         of scenario time is waiting amplified by cost propagation.\n",
+        impact.ia_wait() * 100.0,
+        impact.ia_run() * 100.0,
+        impact.ia_opt() * 100.0,
+    );
+
+    // 3. Causality analysis on a high-impact scenario: contrast the
+    //    fast class against the slow class and rank the behavioral
+    //    patterns that explain the difference.
+    let scenario = ScenarioName::new("BrowserTabCreate");
+    match CausalityAnalysis::default().analyze(&ds, &scenario) {
+        Ok(report) => {
+            println!(
+                "causality analysis of {scenario}: {} fast / {} slow instances, \
+                 {} contrast patterns\n",
+                report.fast_instances,
+                report.slow_instances,
+                report.patterns.len()
+            );
+            for (i, p) in report.top(3).iter().enumerate() {
+                println!(
+                    "#{}  avg cost {}  (total {}, N={}):",
+                    i + 1,
+                    p.avg_cost(),
+                    p.c,
+                    p.n
+                );
+                println!("{}\n", p.tuple.render(&ds.stacks));
+            }
+        }
+        Err(e) => println!("causality analysis unavailable: {e}"),
+    }
+}

@@ -1,0 +1,62 @@
+//! Triaging by-design behaviors out of the pattern ranking (§5.2.5).
+//!
+//! The paper's false-positive discussion: the Disk Protection driver
+//! (`dp.sys`) *intentionally* halts disk I/O when the machine is in
+//! motion, so its high-impact patterns are by-design, not bugs —
+//! "the appearance of such driver patterns suggests that we need to
+//! incorporate such knowledge to filter out some known and exceptional
+//! cases". This example mines MenuDisplay, shows the raw ranking with
+//! the dp.sys false positives, then applies a [`Triage`] knowledge base
+//! and shows the actionable remainder.
+//!
+//! Run with: `cargo run --release -p tracelens --example triage_false_positives`
+
+use tracelens::prelude::*;
+
+fn main() {
+    let scenario = ScenarioName::new("MenuDisplay");
+    let ds = DatasetBuilder::new(77)
+        .traces(160)
+        .mix(ScenarioMix::Only(vec![scenario.as_str().to_owned()]))
+        .build();
+    let report = CausalityAnalysis::default()
+        .analyze(&ds, &scenario)
+        .expect("classes populated");
+    println!(
+        "MenuDisplay: {} contrast patterns ({} fast / {} slow)\n",
+        report.patterns.len(),
+        report.fast_instances,
+        report.slow_instances
+    );
+
+    println!("--- raw ranking (top 5) ---");
+    show(&ds, report.top(5).iter().collect::<Vec<_>>().as_slice());
+
+    // The analyst's knowledge base: dp.sys blocks by design.
+    let triage = Triage::new().by_design_module("dp.sys");
+    let (actionable, by_design) = triage.split(&report.patterns, &ds.stacks);
+    println!(
+        "--- after triage: {} actionable, {} by-design ---",
+        actionable.len(),
+        by_design.len()
+    );
+    println!("\nactionable (top 5):");
+    show(&ds, &actionable[..actionable.len().min(5)]);
+    println!("suppressed as by-design:");
+    show(&ds, &by_design[..by_design.len().min(3)]);
+    println!(
+        "the remaining ranking points at real optimization targets \
+         (network-queue serialization, encrypted metadata reads) instead \
+         of the disk-protection driver doing its job."
+    );
+}
+
+fn show(ds: &Dataset, patterns: &[&tracelens::causality::ContrastPattern]) {
+    for (i, p) in patterns.iter().enumerate() {
+        println!("#{} avg {} (N={})", i + 1, p.avg_cost(), p.n);
+        for line in p.tuple.render(&ds.stacks).lines() {
+            println!("    {line}");
+        }
+    }
+    println!();
+}

@@ -1,0 +1,104 @@
+//! End-to-end tests of the `tracelens` binary: the full
+//! simulate → persist → analyze workflow through the real executable.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tracelens(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tracelens"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn workload_file() -> PathBuf {
+    let dir = std::env::temp_dir().join("tracelens-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join("workload.tlt")
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let file = workload_file();
+    let path = file.to_str().expect("utf-8 path");
+
+    // simulate → .tlt
+    let out = tracelens(&[
+        "simulate", "-o", path, "--traces", "40", "--seed", "7", "--mix", "BrowserTabCreate",
+    ]);
+    assert!(out.status.success(), "simulate failed: {out:?}");
+
+    // info
+    let out = tracelens(&["info", path]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("traces      : 40"), "{text}");
+    assert!(text.contains("BrowserTabCreate"));
+
+    // impact
+    let out = tracelens(&["impact", path]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("IA_wait"), "{text}");
+
+    // blame
+    let out = tracelens(&["blame", path]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("component wait by module:"), "{text}");
+
+    // causality
+    let out = tracelens(&["causality", path, "--scenario", "BrowserTabCreate", "--top", "2"]);
+    assert!(out.status.success(), "causality failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("contrast patterns"), "{text}");
+    assert!(text.contains("wait    :"), "{text}");
+
+    // locate rank 1
+    let out = tracelens(&["locate", path, "--scenario", "BrowserTabCreate", "--rank", "1"]);
+    assert!(out.status.success(), "locate failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("concrete incidents"), "{text}");
+
+    // baselines
+    let out = tracelens(&["baselines", path, "--top", "3"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("%cpu"), "{text}");
+    assert!(text.contains("costly callstacks"), "{text}");
+}
+
+#[test]
+fn run_subcommand_executes_the_dsl() {
+    let script = std::env::temp_dir().join("tracelens-cli-test-fig1.tsim");
+    let asset = concat!(env!("CARGO_MANIFEST_DIR"), "/../../assets/figure1.tsim");
+    std::fs::copy(asset, &script).expect("copy asset");
+    let out = tracelens(&["run", script.to_str().unwrap()]);
+    assert!(out.status.success(), "run failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("BrowserTabCreate"), "{text}");
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let out = tracelens(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "{err}");
+
+    let out = tracelens(&["impact", "/nonexistent/file.tlt"]);
+    assert!(!out.status.success());
+
+    let out = tracelens(&["causality", "--scenario", "X"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = tracelens(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("causality"));
+    assert!(text.contains("regress"));
+}

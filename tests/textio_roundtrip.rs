@@ -1,0 +1,111 @@
+//! The text format must be a faithful transport: analyses over a
+//! round-tripped data set produce identical results.
+
+use std::io::BufReader;
+use tracelens::prelude::*;
+
+fn round_trip(ds: &Dataset) -> Dataset {
+    let mut buf = Vec::new();
+    ds.write_text(&mut buf).expect("serialization succeeds");
+    Dataset::read_text(BufReader::new(buf.as_slice())).expect("parse succeeds")
+}
+
+#[test]
+fn impact_is_invariant_under_round_trip() {
+    let ds = DatasetBuilder::new(2718)
+        .traces(30)
+        .mix(ScenarioMix::Selected)
+        .build();
+    let back = round_trip(&ds);
+    let an = ImpactAnalyzer::new(ComponentFilter::suffix(".sys"));
+    assert_eq!(an.analyze(&ds), an.analyze(&back));
+}
+
+#[test]
+fn causality_is_invariant_under_round_trip() {
+    let ds = DatasetBuilder::new(2718)
+        .traces(60)
+        .mix(ScenarioMix::Only(vec!["BrowserTabCreate".into()]))
+        .build();
+    let back = round_trip(&ds);
+    let name = ScenarioName::new("BrowserTabCreate");
+    let a = CausalityAnalysis::default().analyze(&ds, &name).unwrap();
+    let b = CausalityAnalysis::default().analyze(&back, &name).unwrap();
+    assert_eq!(a.patterns.len(), b.patterns.len());
+    for (x, y) in a.patterns.iter().zip(&b.patterns) {
+        // Tuples carry symbols relative to their own stack table, so
+        // compare through rendered text.
+        assert_eq!(x.tuple.render(&ds.stacks), y.tuple.render(&back.stacks));
+        assert_eq!(x.c, y.c);
+        assert_eq!(x.n, y.n);
+        assert_eq!(x.c_max, y.c_max);
+    }
+    assert!((a.itc() - b.itc()).abs() < 1e-12);
+    assert!((a.ttc() - b.ttc()).abs() < 1e-12);
+}
+
+#[test]
+fn double_round_trip_is_stable() {
+    let ds = DatasetBuilder::new(99).traces(10).build();
+    let once = round_trip(&ds);
+    let twice = round_trip(&once);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    once.write_text(&mut a).unwrap();
+    twice.write_text(&mut b).unwrap();
+    assert_eq!(a, b, "serialization is a fixed point after one trip");
+}
+
+#[test]
+fn format_is_line_oriented_and_commentable() {
+    let ds = DatasetBuilder::new(7).traces(2).build();
+    let mut buf = Vec::new();
+    ds.write_text(&mut buf).unwrap();
+    let mut text = String::from_utf8(buf).unwrap();
+    // Inject comments and blank lines anywhere between records.
+    text = text
+        .lines()
+        .flat_map(|l| [l.to_owned(), "# noise".to_owned(), String::new()])
+        .collect::<Vec<_>>()
+        .join("\n");
+    let back = Dataset::read_text(BufReader::new(text.as_bytes())).unwrap();
+    assert_eq!(back.total_events(), ds.total_events());
+    assert_eq!(back.instances.len(), ds.instances.len());
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Random simulated workloads survive the text format exactly:
+        /// every event field and all instance metadata round-trip.
+        #[test]
+        fn random_datasets_round_trip(seed in 0u64..10_000, traces in 1usize..6) {
+            let ds = DatasetBuilder::new(seed).traces(traces).build();
+            let back = round_trip(&ds);
+            prop_assert_eq!(back.streams.len(), ds.streams.len());
+            prop_assert_eq!(&back.instances, &ds.instances);
+            prop_assert_eq!(back.scenarios.len(), ds.scenarios.len());
+            for (a, b) in ds.streams.iter().zip(&back.streams) {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.events().iter().zip(b.events()) {
+                    prop_assert_eq!(x.kind, y.kind);
+                    prop_assert_eq!(x.tid, y.tid);
+                    prop_assert_eq!(x.pid, y.pid);
+                    prop_assert_eq!(x.t, y.t);
+                    prop_assert_eq!(x.cost, y.cost);
+                    prop_assert_eq!(x.wtid, y.wtid);
+                    prop_assert_eq!(
+                        ds.stacks.resolve_frames(x.stack),
+                        back.stacks.resolve_frames(y.stack)
+                    );
+                }
+            }
+            // And the reloaded data set passes validation.
+            prop_assert!(back.validate().is_ok());
+        }
+    }
+}

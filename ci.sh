@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints on the telemetry crate, full
+# release build, and the complete test suite. No network access needed.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (tracelens-obs) =="
+cargo clippy -p tracelens-obs --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "CI OK"

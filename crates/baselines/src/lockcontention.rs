@@ -81,8 +81,7 @@ impl LockContentionReport {
 
     /// Sites sorted by total wait, highest first.
     pub fn ranked(&self) -> Vec<(Symbol, LockSite)> {
-        let mut rows: Vec<(Symbol, LockSite)> =
-            self.sites.iter().map(|(&s, &e)| (s, e)).collect();
+        let mut rows: Vec<(Symbol, LockSite)> = self.sites.iter().map(|(&s, &e)| (s, e)).collect();
         rows.sort_by(|a, b| b.1.total_wait.cmp(&a.1.total_wait).then(a.0.cmp(&b.0)));
         rows
     }
@@ -114,12 +113,12 @@ mod tests {
 
     fn dataset() -> Dataset {
         let mut ds = Dataset::new();
-        let site_a = ds
-            .stacks
-            .intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
-        let site_b = ds
-            .stacks
-            .intern_symbols(&["app!W", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
+        let site_a =
+            ds.stacks
+                .intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
+        let site_b =
+            ds.stacks
+                .intern_symbols(&["app!W", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
         let mut b = TraceStreamBuilder::new(0);
         b.push_wait(ThreadId(1), TimeNs(0), TimeNs::ZERO, site_a);
         b.push_unwait(ThreadId(9), ThreadId(1), TimeNs(40), site_a);

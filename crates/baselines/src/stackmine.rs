@@ -75,7 +75,8 @@ impl CostlyStackReport {
 
     /// Renders the top `n` costly callstacks (innermost frame first).
     pub fn render(&self, dataset: &Dataset, n: usize) -> String {
-        let mut out = String::from("  %wait       total        hits  callstack (innermost first)\n");
+        let mut out =
+            String::from("  %wait       total        hits  callstack (innermost first)\n");
         for (stack, cost) in self.ranked().into_iter().take(n) {
             let pct = 100.0 * cost.total.ratio(self.total_wait);
             let mut frames = dataset.stacks.resolve_frames(stack);
@@ -100,9 +101,9 @@ mod tests {
 
     fn dataset() -> Dataset {
         let mut ds = Dataset::new();
-        let a = ds
-            .stacks
-            .intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
+        let a =
+            ds.stacks
+                .intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
         let b = ds
             .stacks
             .intern_symbols(&["app!W", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);

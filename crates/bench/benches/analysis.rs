@@ -131,12 +131,17 @@ fn bench_textio(c: &mut Criterion) {
 }
 
 fn bench_script(c: &mut Criterion) {
-    let text = std::fs::read_to_string(
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../assets/figure1.tsim"),
-    )
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../assets/figure1.tsim"
+    ))
     .expect("asset exists");
     c.bench_function("script/run_figure1", |b| {
-        b.iter(|| tracelens::sim::script::run_script(&text).unwrap().total_events())
+        b.iter(|| {
+            tracelens::sim::script::run_script(&text)
+                .unwrap()
+                .total_events()
+        })
     });
 }
 

@@ -12,15 +12,18 @@
 //!   chain.
 
 use tracelens::prelude::*;
-use tracelens_bench::cli_args;
+use tracelens_bench::BenchArgs;
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     let traces = traces.min(200);
     eprintln!("generating {traces} traces (seed {seed})...");
     let ds = DatasetBuilder::new(seed)
         .traces(traces)
         .mix(ScenarioMix::Only(vec!["BrowserTabCreate".into()]))
+        .telemetry(telemetry.clone())
         .build();
 
     println!("== A3: what each analysis sees of the Figure-1 chain ==\n");
@@ -44,6 +47,7 @@ fn main() {
 
     println!("--- causality analysis (top 3 contrast patterns) ---");
     let report = CausalityAnalysis::default()
+        .with_telemetry(telemetry.clone())
         .analyze(&ds, &ScenarioName::new("BrowserTabCreate"))
         .expect("causality analysis succeeds");
     for (i, p) in report.top(3).iter().enumerate() {
@@ -53,4 +57,5 @@ fn main() {
     println!("the top pattern names the wait sites, the unwait (holder)");
     println!("sites, and the root running costs in one actionable tuple —");
     println!("the cross-lock, cross-dependency view the baselines lack.");
+    args.write_telemetry(sink.as_deref());
 }

@@ -8,33 +8,42 @@
 
 use tracelens::causality::{CausalityAnalysis, CausalityConfig};
 use tracelens::prelude::*;
-use tracelens_bench::{cli_args, pct, row, rule, selected_names};
+use tracelens_bench::{pct, row, rule, selected_names, BenchArgs};
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     let traces = traces.min(300);
     eprintln!("generating {traces} traces (seed {seed})...");
     let ds = DatasetBuilder::new(seed)
         .traces(traces)
         .mix(ScenarioMix::Selected)
+        .telemetry(telemetry.clone())
         .build();
 
-    let reduced = CausalityAnalysis::default();
+    let reduced = CausalityAnalysis::default().with_telemetry(telemetry.clone());
     let unreduced = CausalityAnalysis::new(CausalityConfig {
         reduce: false,
         ..CausalityConfig::default()
-    });
+    })
+    .with_telemetry(telemetry.clone());
 
     let widths = [22, 12, 12, 12, 12];
     println!("== A2: non-optimizable reduction ablation ==");
     row(
-        &["Scenario", "pruned frac", "TTC (red.)", "TTC (unred.)", "pat. Δ"],
+        &[
+            "Scenario",
+            "pruned frac",
+            "TTC (red.)",
+            "TTC (unred.)",
+            "pat. Δ",
+        ],
         &widths,
     );
     rule(&widths);
     for name in selected_names() {
-        let (Ok(r), Ok(u)) = (reduced.analyze(&ds, &name), unreduced.analyze(&ds, &name))
-        else {
+        let (Ok(r), Ok(u)) = (reduced.analyze(&ds, &name), unreduced.analyze(&ds, &name)) else {
             row(&[name.as_str(), "(empty class)"], &widths[..2]);
             continue;
         };
@@ -53,4 +62,5 @@ fn main() {
     println!("paper: BrowserTabSwitch has 66.6% of slow driver cost in");
     println!("direct hardware service; the reduction removes it so mined");
     println!("patterns target only optimizable (propagating) behavior.");
+    args.write_telemetry(sink.as_deref());
 }

@@ -8,22 +8,33 @@
 use std::time::Instant;
 use tracelens::causality::{CausalityAnalysis, CausalityConfig};
 use tracelens::prelude::*;
-use tracelens_bench::{cli_args, pct, row, rule};
+use tracelens_bench::{pct, row, rule, BenchArgs};
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     let traces = traces.min(200);
     eprintln!("generating {traces} traces (seed {seed})...");
     let ds = DatasetBuilder::new(seed)
         .traces(traces)
         .mix(ScenarioMix::Only(vec!["BrowserTabCreate".into()]))
+        .telemetry(telemetry.clone())
         .build();
     let name = ScenarioName::new("BrowserTabCreate");
 
     let widths = [4, 12, 12, 10, 10, 10, 12];
     println!("== A1: segment-bound sweep (BrowserTabCreate) ==");
     row(
-        &["k", "slow metas", "contrasts", "patterns", "ITC", "TTC", "mine time"],
+        &[
+            "k",
+            "slow metas",
+            "contrasts",
+            "patterns",
+            "ITC",
+            "TTC",
+            "mine time",
+        ],
         &widths,
     );
     rule(&widths);
@@ -31,7 +42,8 @@ fn main() {
         let analysis = CausalityAnalysis::new(CausalityConfig {
             segment_bound: k,
             ..CausalityConfig::default()
-        });
+        })
+        .with_telemetry(telemetry.clone());
         let t = Instant::now();
         let report = analysis.analyze(&ds, &name).expect("analysis succeeds");
         let elapsed = t.elapsed();
@@ -51,4 +63,5 @@ fn main() {
     println!();
     println!("expected shape: meta-pattern count grows with k; coverage");
     println!("saturates near k=5 (the paper's setting).");
+    args.write_telemetry(sink.as_deref());
 }

@@ -8,23 +8,29 @@
 //! picking a component set for causality analysis.
 
 use tracelens::prelude::*;
-use tracelens_bench::{cli_args, full_dataset, pct, row, rule};
+use tracelens_bench::{full_dataset_traced, pct, row, rule, BenchArgs};
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     eprintln!("generating {traces} traces (seed {seed})...");
-    let ds = full_dataset(traces, seed);
+    let ds = full_dataset_traced(traces, seed, &telemetry);
 
     println!("== E6: impact by driver type (components scoped per row) ==");
     let widths = [26, 10, 10, 10, 10];
-    row(&["Driver type", "IA_wait", "IA_run", "IA_opt", "amp"], &widths);
+    row(
+        &["Driver type", "IA_wait", "IA_run", "IA_opt", "amp"],
+        &widths,
+    );
     rule(&widths);
 
     let mut rows: Vec<(DriverType, ImpactReport)> = DriverType::ALL
         .iter()
         .map(|&ty| {
             let filter = ComponentFilter::names(ty.known_modules().iter().copied());
-            (ty, ImpactAnalyzer::new(filter).analyze(&ds))
+            let scoped = ImpactAnalyzer::new(filter).with_telemetry(telemetry.clone());
+            (ty, scoped.analyze(&ds))
         })
         .collect();
     rows.sort_by_key(|(_, r)| std::cmp::Reverse(r.d_wait));
@@ -41,7 +47,9 @@ fn main() {
         );
     }
     rule(&widths);
-    let all = ImpactAnalyzer::new(ComponentFilter::suffix(".sys")).analyze(&ds);
+    let all = ImpactAnalyzer::new(ComponentFilter::suffix(".sys"))
+        .with_telemetry(telemetry.clone())
+        .analyze(&ds);
     row(
         &[
             "all drivers (*.sys)",
@@ -56,4 +64,5 @@ fn main() {
     println!("expected shape: file-system + filter drivers lead; the sum of");
     println!("scoped IA_wait values exceeds the *.sys total because nested");
     println!("waits across types are each top-level within their own scope.");
+    args.write_telemetry(sink.as_deref());
 }

@@ -10,12 +10,15 @@ use tracelens::model::{EventKind, ProcessId, ScenarioInstance, StackTable, TimeN
 use tracelens::prelude::*;
 use tracelens::sim::env::{sig, Env};
 use tracelens::sim::{HwRequest, Machine, ProgramBuilder};
+use tracelens_bench::BenchArgs;
 
 fn ms(v: u64) -> TimeNs {
     TimeNs::from_millis(v)
 }
 
 fn main() {
+    let args = BenchArgs::parse();
+    let (telemetry, sink) = args.telemetry_handle();
     let mut machine = Machine::new(0);
     let env = Env::install(&mut machine);
     let mut stacks = StackTable::new();
@@ -136,8 +139,8 @@ fn main() {
         t0,
         t1,
     };
-    let index = StreamIndex::new(&out.stream);
-    let graph = WaitGraph::build(&out.stream, &index, &instance);
+    let index = StreamIndex::new_traced(&out.stream, &telemetry);
+    let graph = WaitGraph::build_traced(&out.stream, &index, &instance, &telemetry);
     println!("UI thread Wait Graph (depth-first; consecutive samples coalesced):");
     let mut pending: Option<(usize, String, TimeNs, u32)> = None;
     let flush = |p: &mut Option<(usize, String, TimeNs, u32)>| {
@@ -195,4 +198,5 @@ fn main() {
     println!("(5,6) FileTable lock handoffs: worker → worker → UI");
     println!("\nGraphviz of the Wait Graph:\n");
     println!("{}", graph.to_dot(&stacks));
+    args.write_telemetry(sink.as_deref());
 }

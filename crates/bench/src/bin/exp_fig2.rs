@@ -8,15 +8,18 @@
 use tracelens::causality::{split_classes, Aggregator};
 use tracelens::prelude::*;
 use tracelens::waitgraph::{StreamIndex, WaitGraph};
-use tracelens_bench::cli_args;
+use tracelens_bench::BenchArgs;
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     let traces = traces.min(120); // the figure needs a sample, not a census
     eprintln!("generating {traces} traces (seed {seed})...");
     let ds = DatasetBuilder::new(seed)
         .traces(traces)
         .mix(ScenarioMix::Only(vec!["BrowserTabCreate".into()]))
+        .telemetry(telemetry.clone())
         .build();
     let name = ScenarioName::new("BrowserTabCreate");
     let split = split_classes(&ds, &name).expect("scenario defined");
@@ -31,8 +34,10 @@ fn main() {
     let mut agg = Aggregator::new(&ds.stacks, &filter);
     for instance in &split.slow {
         let stream = ds.stream_of(instance).expect("stream exists");
-        let index = StreamIndex::new(stream);
-        agg.add_graph(&WaitGraph::build(stream, &index, instance));
+        let index = StreamIndex::new_traced(stream, &telemetry);
+        agg.add_graph(&WaitGraph::build_traced(
+            stream, &index, instance, &telemetry,
+        ));
     }
     let awg = agg.finish();
 
@@ -51,16 +56,13 @@ fn main() {
 
     // The §2.3 pattern, recovered by mining.
     let report = CausalityAnalysis::default()
+        .with_telemetry(telemetry.clone())
         .analyze(&ds, &name)
         .expect("causality analysis succeeds");
     println!("top contrast pattern (the §2.3 Signature Set Tuple):\n");
     if let Some(p) = report.patterns.first() {
         println!("{}", p.tuple.render(&ds.stacks));
-        println!(
-            "\nP.C = {}, P.N = {}, avg = {}",
-            p.c,
-            p.n,
-            p.avg_cost()
-        );
+        println!("\nP.C = {}, P.N = {}, avg = {}", p.c, p.n, p.avg_cost());
     }
+    args.write_telemetry(sink.as_deref());
 }

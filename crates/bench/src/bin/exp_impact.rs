@@ -4,12 +4,14 @@
 //! `IA_opt ≈ 26 %`, `D_wait / D_waitdist ≈ 3.5`.
 
 use tracelens::prelude::*;
-use tracelens_bench::{cli_args, full_dataset, pct};
+use tracelens_bench::{full_dataset_traced, pct, BenchArgs};
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     eprintln!("generating {traces} traces (seed {seed})...");
-    let ds = full_dataset(traces, seed);
+    let ds = full_dataset_traced(traces, seed, &telemetry);
     eprintln!(
         "dataset: {} traces, {} instances, {} events",
         ds.streams.len(),
@@ -17,17 +19,32 @@ fn main() {
         ds.total_events()
     );
 
-    let report = ImpactAnalyzer::new(ComponentFilter::suffix(".sys")).analyze(&ds);
+    let report = ImpactAnalyzer::new(ComponentFilter::suffix(".sys"))
+        .with_telemetry(telemetry.clone())
+        .analyze(&ds);
 
     println!("== E1: Impact analysis on device drivers (components = *.sys) ==");
     println!("{report}");
     println!();
     println!("{:<22}{:>12}{:>12}", "metric", "paper", "measured");
-    println!("{:<22}{:>12}{:>12}", "IA_wait", "36.4%", pct(report.ia_wait()));
+    println!(
+        "{:<22}{:>12}{:>12}",
+        "IA_wait",
+        "36.4%",
+        pct(report.ia_wait())
+    );
     println!("{:<22}{:>12}{:>12}", "IA_run", "1.6%", pct(report.ia_run()));
-    println!("{:<22}{:>12}{:>12}", "IA_opt", "26.0%", pct(report.ia_opt()));
+    println!(
+        "{:<22}{:>12}{:>12}",
+        "IA_opt",
+        "26.0%",
+        pct(report.ia_opt())
+    );
     println!(
         "{:<22}{:>12}{:>12.2}",
-        "Dwait/Dwaitdist", "3.5", report.wait_amplification()
+        "Dwait/Dwaitdist",
+        "3.5",
+        report.wait_amplification()
     );
+    args.write_telemetry(sink.as_deref());
 }

@@ -6,17 +6,25 @@
 //! BrowserTabCreate 2491 → 597 fast / 1601 slow.
 
 use tracelens::causality::split_classes;
-use tracelens_bench::{cli_args, row, rule, selected_dataset, selected_names};
+use tracelens_bench::{row, rule, selected_dataset_traced, selected_names, BenchArgs};
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     eprintln!("generating {traces} traces (seed {seed})...");
-    let ds = selected_dataset(traces, seed);
+    let ds = selected_dataset_traced(traces, seed, &telemetry);
 
     let widths = [22, 12, 12, 12, 12];
     println!("== E2: Table 1 — Selected Scenarios ==");
     row(
-        &["Scenario", "#Instances", "in {I}fast", "in {I}slow", "margin"],
+        &[
+            "Scenario",
+            "#Instances",
+            "in {I}fast",
+            "in {I}slow",
+            "margin",
+        ],
         &widths,
     );
     rule(&widths);
@@ -51,4 +59,5 @@ fn main() {
     );
     println!();
     println!("paper totals: 17612 instances, 7426 fast, 6738 slow (margin not reported)");
+    args.write_telemetry(sink.as_deref());
 }

@@ -6,13 +6,15 @@
 //! because most of its driver cost is direct hardware service.
 
 use tracelens::prelude::*;
-use tracelens_bench::{cli_args, pct, row, rule, selected_dataset, selected_names};
+use tracelens_bench::{pct, row, rule, selected_dataset_traced, selected_names, BenchArgs};
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     eprintln!("generating {traces} traces (seed {seed})...");
-    let ds = selected_dataset(traces, seed);
-    let study = Study::run(&ds, &StudyConfig::default(), &selected_names());
+    let ds = selected_dataset_traced(traces, seed, &telemetry);
+    let study = Study::run_traced(&ds, &StudyConfig::default(), &selected_names(), &telemetry);
 
     let widths = [22, 12, 10, 10];
     println!("== E3: Table 2 — Impactful-Time and Total-Time Coverages ==");
@@ -38,7 +40,10 @@ fn main() {
                     &widths,
                 );
             }
-            Err(e) => row(&[name.as_str(), &pct(driver_cost), "-", &format!("({e})")], &widths),
+            Err(e) => row(
+                &[name.as_str(), &pct(driver_cost), "-", &format!("({e})")],
+                &widths,
+            ),
         }
     }
     rule(&widths);
@@ -55,4 +60,5 @@ fn main() {
     }
     println!();
     println!("paper averages: DriverCost 54.2%, ITC 24.9%, TTC 36.0%");
+    args.write_telemetry(sink.as_deref());
 }

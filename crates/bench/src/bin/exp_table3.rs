@@ -6,17 +6,22 @@
 //! top 30 % cover 95.9 %.
 
 use tracelens::prelude::*;
-use tracelens_bench::{cli_args, pct, row, rule, selected_dataset, selected_names};
+use tracelens_bench::{pct, row, rule, selected_dataset_traced, selected_names, BenchArgs};
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     eprintln!("generating {traces} traces (seed {seed})...");
-    let ds = selected_dataset(traces, seed);
-    let analysis = CausalityAnalysis::default();
+    let ds = selected_dataset_traced(traces, seed, &telemetry);
+    let analysis = CausalityAnalysis::default().with_telemetry(telemetry.clone());
 
     let widths = [22, 10, 8, 8, 8];
     println!("== E4: Table 3 — Coverages by Ranking ==");
-    row(&["Scenario (Tslow)", "#Patterns", "10%", "20%", "30%"], &widths);
+    row(
+        &["Scenario (Tslow)", "#Patterns", "10%", "20%", "30%"],
+        &widths,
+    );
     rule(&widths);
     let mut sums = (0usize, 0.0, 0.0, 0.0, 0usize);
     for name in selected_names() {
@@ -64,4 +69,5 @@ fn main() {
     println!("paper averages: 2822 patterns, 47.9% / 80.1% / 95.9%");
     println!("(pattern counts scale with trace diversity; the synthetic");
     println!(" workload yields fewer distinct patterns at the same shape)");
+    args.write_telemetry(sink.as_deref());
 }

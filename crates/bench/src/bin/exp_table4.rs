@@ -7,13 +7,15 @@
 //! composition.
 
 use tracelens::prelude::*;
-use tracelens_bench::{cli_args, row, rule, selected_dataset, selected_names};
+use tracelens_bench::{row, rule, selected_dataset_traced, selected_names, BenchArgs};
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     eprintln!("generating {traces} traces (seed {seed})...");
-    let ds = selected_dataset(traces, seed);
-    let analysis = CausalityAnalysis::default();
+    let ds = selected_dataset_traced(traces, seed, &telemetry);
+    let analysis = CausalityAnalysis::default().with_telemetry(telemetry.clone());
 
     let types = DriverType::ALL;
     let mut widths = vec![22usize];
@@ -49,6 +51,7 @@ fn main() {
     println!("paper shape: FileSystem+Filter dominate most rows;");
     println!("Network dominates MenuDisplay (7/10); Graphics appears in");
     println!("AppNonResponsive via the hard-fault case.");
+    args.write_telemetry(sink.as_deref());
 }
 
 fn shorten(label: &str) -> String {

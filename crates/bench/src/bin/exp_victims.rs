@@ -8,7 +8,7 @@
 //! spread across victims.
 
 use tracelens::prelude::*;
-use tracelens_bench::{cli_args, full_dataset, pct, row, rule};
+use tracelens_bench::{full_dataset_traced, pct, row, rule, BenchArgs};
 
 fn process_label(pid: u32) -> &'static str {
     match pid {
@@ -23,11 +23,15 @@ fn process_label(pid: u32) -> &'static str {
 }
 
 fn main() {
-    let (traces, seed) = cli_args();
+    let args = BenchArgs::parse();
+    let (traces, seed) = (args.traces, args.seed);
+    let (telemetry, sink) = args.telemetry_handle();
     eprintln!("generating {traces} traces (seed {seed})...");
-    let ds = full_dataset(traces, seed);
+    let ds = full_dataset_traced(traces, seed, &telemetry);
 
-    let by = ImpactAnalyzer::new(ComponentFilter::suffix(".sys")).analyze_by_process(&ds);
+    let by = ImpactAnalyzer::new(ComponentFilter::suffix(".sys"))
+        .with_telemetry(telemetry.clone())
+        .analyze_by_process(&ds);
     println!("== E7: victim analysis — driver impact per process ==");
     let widths = [18, 10, 12, 10, 10, 10];
     row(
@@ -54,4 +58,5 @@ fn main() {
     println!("shape: every process that runs scenarios inherits driver");
     println!("waiting — cost propagation does not respect process");
     println!("boundaries (the paper's six-thread, four-process incident).");
+    args.write_telemetry(sink.as_deref());
 }

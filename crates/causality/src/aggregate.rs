@@ -149,7 +149,9 @@ impl<'a> Aggregator<'a> {
                 let mut j = i + 1;
                 while j < ids.len() {
                     let next = graph.node(ids[j]);
-                    if matches!(next.kind, NodeKind::Running) && self.key_of(graph, ids[j]) == Some(key) {
+                    if matches!(next.kind, NodeKind::Running)
+                        && self.key_of(graph, ids[j]) == Some(key)
+                    {
                         duration += next.duration;
                         j += 1;
                     } else {
@@ -223,7 +225,8 @@ mod tests {
     /// unwaited by T2 which runs in se.sys during the wait.
     fn one_graph(stacks: &mut StackTable) -> (WaitGraph, WaitGraph) {
         let app = stacks.intern_symbols(&["app!Main"]);
-        let fv = stacks.intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
+        let fv =
+            stacks.intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
         let se = stacks.intern_symbols(&["w!W", "se.sys!ReadDecrypt"]);
         let mut b = TraceStreamBuilder::new(0);
         b.push_running(ThreadId(1), TimeNs(0), TimeNs(10), app);
@@ -389,7 +392,8 @@ mod tests {
         // identical running child signature: the children must remain
         // separate trie nodes because their prefixes differ.
         let mut stacks = StackTable::new();
-        let fv = stacks.intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
+        let fv =
+            stacks.intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
         let fs = stacks.intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
         let se = stacks.intern_symbols(&["w!W", "se.sys!ReadDecrypt"]);
         let mk = |wait_stack| {

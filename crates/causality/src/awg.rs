@@ -181,10 +181,8 @@ impl AggregatedWaitGraph {
     pub fn to_dot(&self, stacks: &StackTable) -> String {
         use std::fmt::Write as _;
         let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
-        let resolve =
-            |s: Symbol| stacks.symbols().resolve(s).unwrap_or("?").to_owned();
-        let mut out =
-            String::from("digraph awg {\n  rankdir=TB;\n  node [fontsize=10];\n");
+        let resolve = |s: Symbol| stacks.symbols().resolve(s).unwrap_or("?").to_owned();
+        let mut out = String::from("digraph awg {\n  rankdir=TB;\n  node [fontsize=10];\n");
         for id in self.preorder() {
             let node = self.node(id);
             let (label, shape) = match node.key {
@@ -219,8 +217,7 @@ impl AggregatedWaitGraph {
     pub fn render(&self, stacks: &StackTable) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let mut stack: Vec<(usize, AwgId)> =
-            self.roots.iter().rev().map(|&r| (0, r)).collect();
+        let mut stack: Vec<(usize, AwgId)> = self.roots.iter().rev().map(|&r| (0, r)).collect();
         while let Some((depth, id)) = stack.pop() {
             let node = self.node(id);
             let resolve = |s: Symbol| stacks.symbols().resolve(s).unwrap_or("?").to_owned();
@@ -300,13 +297,10 @@ mod tests {
         let u = stacks.intern_frame("fs.sys!AcquireMDU");
         let r = stacks.intern_frame("se.sys!ReadDecrypt");
         let mut g = AggregatedWaitGraph::default();
-        g.nodes.push(node(
-            AwgKey::Waiting { w, u: Some(u) },
-            None,
-            100,
-            2,
-        ));
-        g.nodes.push(node(AwgKey::Running { r }, Some(AwgId(0)), 40, 2));
+        g.nodes
+            .push(node(AwgKey::Waiting { w, u: Some(u) }, None, 100, 2));
+        g.nodes
+            .push(node(AwgKey::Running { r }, Some(AwgId(0)), 40, 2));
         g.nodes[0].children.push(AwgId(1));
         g.roots.push(AwgId(0));
         let dot = g.to_dot(&stacks);

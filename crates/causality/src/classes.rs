@@ -27,10 +27,7 @@ impl ClassSplit<'_> {
 /// Splits `scenario`'s instances in `dataset` into contrast classes using
 /// the scenario's developer thresholds. Returns `None` if the scenario is
 /// not defined in the data set.
-pub fn split_classes<'a>(
-    dataset: &'a Dataset,
-    scenario: &ScenarioName,
-) -> Option<ClassSplit<'a>> {
+pub fn split_classes<'a>(dataset: &'a Dataset, scenario: &ScenarioName) -> Option<ClassSplit<'a>> {
     let thresholds = dataset.scenario(scenario)?.thresholds;
     let mut split = ClassSplit {
         fast: Vec::new(),

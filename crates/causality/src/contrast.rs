@@ -55,6 +55,13 @@ pub struct MiningStats {
     pub contrast_metas: usize,
     /// Full slow-class paths examined.
     pub slow_paths: usize,
+    /// Slow-class leaves skipped as zero-cost (pruned before tuple
+    /// construction).
+    pub zero_cost_pruned: usize,
+    /// Distinct contrast patterns after tuple merging — `patterns.len()`
+    /// of the accompanying result, kept here so diagnostics travel as
+    /// one value.
+    pub patterns: usize,
 }
 
 /// Mines ranked contrast patterns between the two class AWGs.
@@ -74,14 +81,35 @@ pub fn mine_contrasts(
     thresholds: Thresholds,
     k: usize,
 ) -> (Vec<ContrastPattern>, MiningStats) {
-    let fast_metas = enumerate_meta_patterns(fast, k);
-    let slow_metas = enumerate_meta_patterns(slow, k);
+    mine_contrasts_traced(fast, slow, thresholds, k, &tracelens_obs::Telemetry::noop())
+}
+
+/// [`mine_contrasts`] with telemetry: reports `segments` and `contrast`
+/// stage spans plus mining counters through `telemetry`. With a disabled
+/// handle this is exactly `mine_contrasts`.
+pub fn mine_contrasts_traced(
+    fast: &AggregatedWaitGraph,
+    slow: &AggregatedWaitGraph,
+    thresholds: Thresholds,
+    k: usize,
+    telemetry: &tracelens_obs::Telemetry,
+) -> (Vec<ContrastPattern>, MiningStats) {
+    let (fast_metas, slow_metas) = {
+        let _span = telemetry.span(tracelens_obs::stage::SEGMENTS);
+        (
+            enumerate_meta_patterns(fast, k),
+            enumerate_meta_patterns(slow, k),
+        )
+    };
+    let _span = telemetry.span(tracelens_obs::stage::CONTRAST);
     let contrast_metas = select_contrast_metas(&fast_metas, &slow_metas, thresholds);
     let mut stats = MiningStats {
         fast_metas: fast_metas.len(),
         slow_metas: slow_metas.len(),
         contrast_metas: contrast_metas.len(),
         slow_paths: 0,
+        zero_cost_pruned: 0,
+        patterns: 0,
     };
 
     // Lift to full paths of the slow AWG.
@@ -94,6 +122,7 @@ pub fn mine_contrasts(
         if slow.node(id).c == TimeNs::ZERO {
             // Zero-cost paths (e.g. same-timestamp lock handoffs) carry
             // no impact and would only clutter the ranking.
+            stats.zero_cost_pruned += 1;
             continue;
         }
         let path = slow.path_to(id);
@@ -134,6 +163,15 @@ pub fn mine_contrasts(
             .then_with(|| b.c.cmp(&a.c))
             .then_with(|| a.tuple.cmp(&b.tuple))
     });
+    stats.patterns = patterns.len();
+    if telemetry.enabled() {
+        telemetry.count("segments.fast_metas", stats.fast_metas as u64);
+        telemetry.count("segments.slow_metas", stats.slow_metas as u64);
+        telemetry.count("contrast.metas", stats.contrast_metas as u64);
+        telemetry.count("contrast.slow_paths", stats.slow_paths as u64);
+        telemetry.count("contrast.zero_cost_pruned", stats.zero_cost_pruned as u64);
+        telemetry.count("contrast.patterns", stats.patterns as u64);
+    }
     (patterns, stats)
 }
 
@@ -315,9 +353,13 @@ mod tests {
             (rkey(5), 800, 2),
         ]);
         let b0 = slow.nodes.len() as u32;
-        for (i, &(key, c, n)) in [(wkey(3, 4), 1000u64, 2u64), (wkey(1, 2), 900, 2), (rkey(5), 700, 2)]
-            .iter()
-            .enumerate()
+        for (i, &(key, c, n)) in [
+            (wkey(3, 4), 1000u64, 2u64),
+            (wkey(1, 2), 900, 2),
+            (rkey(5), 700, 2),
+        ]
+        .iter()
+        .enumerate()
         {
             slow.nodes.push(AwgNode {
                 key,
@@ -334,7 +376,9 @@ mod tests {
             });
             if i > 0 {
                 let parent = b0 + i as u32 - 1;
-                slow.nodes[parent as usize].children.push(AwgId(b0 + i as u32));
+                slow.nodes[parent as usize]
+                    .children
+                    .push(AwgId(b0 + i as u32));
             }
         }
         slow.roots.push(AwgId(b0));

@@ -2,7 +2,7 @@
 
 use crate::aggregate::Aggregator;
 use crate::classes::split_classes;
-use crate::contrast::{mine_contrasts, ContrastPattern, MiningStats};
+use crate::contrast::{mine_contrasts_traced, ContrastPattern, MiningStats};
 use crate::DEFAULT_SEGMENT_BOUND;
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -11,6 +11,7 @@ use tracelens_model::{
     ComponentFilter, Dataset, DriverType, ScenarioInstance, ScenarioName, Signature, StackTable,
     Thresholds, TimeNs,
 };
+use tracelens_obs::{stage, Telemetry};
 use tracelens_waitgraph::{StreamIndex, WaitGraph};
 
 /// Configuration of a causality analysis run.
@@ -57,7 +58,10 @@ impl fmt::Display for CausalityError {
                 write!(f, "scenario {s} is not defined in the data set")
             }
             CausalityError::EmptyClass { class, scenario } => {
-                write!(f, "the {class} contrast class of scenario {scenario} is empty")
+                write!(
+                    f,
+                    "the {class} contrast class of scenario {scenario} is empty"
+                )
             }
         }
     }
@@ -131,8 +135,8 @@ impl CausalityReport {
         if self.patterns.is_empty() {
             return 0.0;
         }
-        let take = ((self.patterns.len() as f64 * frac).ceil() as usize)
-            .clamp(1, self.patterns.len());
+        let take =
+            ((self.patterns.len() as f64 * frac).ceil() as usize).clamp(1, self.patterns.len());
         let top: TimeNs = self.patterns.iter().take(take).map(|p| p.c).sum();
         let all: TimeNs = self.patterns.iter().map(|p| p.c).sum();
         top.ratio(all)
@@ -173,12 +177,24 @@ impl CausalityReport {
 #[derive(Debug, Clone, Default)]
 pub struct CausalityAnalysis {
     config: CausalityConfig,
+    telemetry: Telemetry,
 }
 
 impl CausalityAnalysis {
     /// Creates an analysis with the given configuration.
     pub fn new(config: CausalityConfig) -> Self {
-        CausalityAnalysis { config }
+        CausalityAnalysis {
+            config,
+            telemetry: Telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry handle; [`CausalityAnalysis::analyze`] then
+    /// reports `classes`/`waitgraph`/`aggregate`/`segments`/`contrast`
+    /// stage spans and mining counters through it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The configuration in use.
@@ -199,8 +215,19 @@ impl CausalityAnalysis {
         dataset: &Dataset,
         scenario: &ScenarioName,
     ) -> Result<CausalityReport, CausalityError> {
-        let split = split_classes(dataset, scenario)
-            .ok_or_else(|| CausalityError::UnknownScenario(scenario.clone()))?;
+        let split = {
+            let _span = self.telemetry.span(stage::CLASSES);
+            split_classes(dataset, scenario)
+                .ok_or_else(|| CausalityError::UnknownScenario(scenario.clone()))?
+        };
+        if self.telemetry.enabled() {
+            self.telemetry
+                .count("classes.fast", split.fast.len() as u64);
+            self.telemetry
+                .count("classes.slow", split.slow.len() as u64);
+            self.telemetry
+                .count("classes.margin", split.margin.len() as u64);
+        }
         if split.fast.is_empty() {
             return Err(CausalityError::EmptyClass {
                 class: "fast",
@@ -216,19 +243,32 @@ impl CausalityAnalysis {
 
         let mut fast_agg = Aggregator::new(&dataset.stacks, &self.config.components);
         let mut slow_agg = Aggregator::new(&dataset.stacks, &self.config.components);
-        self.aggregate_instances(dataset, &split.fast, &mut fast_agg);
-        self.aggregate_instances(dataset, &split.slow, &mut slow_agg);
-        let (fast_awg, slow_awg) = if self.config.reduce {
-            (fast_agg.finish(), slow_agg.finish())
-        } else {
-            (fast_agg.finish_unreduced(), slow_agg.finish_unreduced())
+        {
+            let _span = self.telemetry.span(stage::WAITGRAPH);
+            self.aggregate_instances(dataset, &split.fast, &mut fast_agg);
+            self.aggregate_instances(dataset, &split.slow, &mut slow_agg);
+        }
+        let (fast_awg, slow_awg) = {
+            let _span = self.telemetry.span(stage::AGGREGATE);
+            if self.config.reduce {
+                (fast_agg.finish(), slow_agg.finish())
+            } else {
+                (fast_agg.finish_unreduced(), slow_agg.finish_unreduced())
+            }
         };
+        if self.telemetry.enabled() {
+            self.telemetry
+                .count("aggregate.fast_nodes", fast_awg.node_count() as u64);
+            self.telemetry
+                .count("aggregate.slow_nodes", slow_awg.node_count() as u64);
+        }
 
-        let (patterns, stats) = mine_contrasts(
+        let (patterns, stats) = mine_contrasts_traced(
             &fast_awg,
             &slow_awg,
             split.thresholds,
             self.config.segment_bound,
+            &self.telemetry,
         );
 
         Ok(CausalityReport {
@@ -260,9 +300,9 @@ impl CausalityAnalysis {
             let Some(stream) = dataset.streams.get(trace as usize) else {
                 continue;
             };
-            let index = StreamIndex::new(stream);
+            let index = StreamIndex::new_traced(stream, &self.telemetry);
             for instance in group {
-                let graph = WaitGraph::build(stream, &index, instance);
+                let graph = WaitGraph::build_traced(stream, &index, instance, &self.telemetry);
                 agg.add_graph_tagged(&graph, (instance.trace, instance.tid));
             }
         }
@@ -300,9 +340,7 @@ mod tests {
         assert!(itc >= 0.0 && itc <= ttc, "itc={itc} ttc={ttc}");
         assert!(ttc <= 1.5, "ttc={ttc}"); // child costs unclipped, may pass 1
         assert!(report.coverage_top_fraction(1.0) > 0.999);
-        assert!(
-            report.coverage_top_fraction(0.1) <= report.coverage_top_fraction(0.3) + 1e-12
-        );
+        assert!(report.coverage_top_fraction(0.1) <= report.coverage_top_fraction(0.3) + 1e-12);
     }
 
     #[test]
@@ -322,9 +360,7 @@ mod tests {
         for p in &report.patterns {
             for &(trace, tid) in &p.examples {
                 let hit = ds.instances.iter().find(|i| {
-                    i.trace == trace
-                        && i.tid == tid
-                        && i.scenario.as_str() == "BrowserTabCreate"
+                    i.trace == trace && i.tid == tid && i.scenario.as_str() == "BrowserTabCreate"
                 });
                 let inst = hit.expect("example references a known instance");
                 assert_eq!(th.classify(inst.duration()), Some(false), "must be slow");
@@ -353,16 +389,22 @@ mod tests {
         let fv = ds.stacks.symbols().lookup("fv.sys!QueryFileTable");
         let se = ds.stacks.symbols().lookup("se.sys!ReadDecrypt");
         let (fv, se) = (fv.expect("fv interned"), se.expect("se interned"));
-        let found = report.top(10).iter().any(|p| {
-            p.tuple.wait.contains(&fv) && p.tuple.running.contains(&se)
-        });
+        let found = report
+            .top(10)
+            .iter()
+            .any(|p| p.tuple.wait.contains(&fv) && p.tuple.running.contains(&se));
         assert!(
             found,
             "expected the Figure-1 chain among the top-10 patterns; got:\n{}",
             report
                 .top(10)
                 .iter()
-                .map(|p| format!("avg={} n={}\n{}\n", p.avg_cost(), p.n, p.tuple.render(&ds.stacks)))
+                .map(|p| format!(
+                    "avg={} n={}\n{}\n",
+                    p.avg_cost(),
+                    p.n,
+                    p.tuple.render(&ds.stacks)
+                ))
                 .collect::<String>()
         );
     }

@@ -212,7 +212,11 @@ mod tests {
             &ScenarioName::new("BrowserTabCreate"),
             &RegressionConfig::default(),
         );
-        assert!(regs.is_empty(), "identical corpora: {} regressions", regs.len());
+        assert!(
+            regs.is_empty(),
+            "identical corpora: {} regressions",
+            regs.len()
+        );
     }
 
     #[test]
@@ -248,8 +252,11 @@ mod tests {
     fn cross_scenario_comparison_flags_new_chains() {
         // Pretend the "new build" changed MenuDisplay to hit filesystem
         // chains: compare MenuDisplay (baseline) against a tab-create
-        // workload relabeled as the same scenario. Every fv/fs chain is
-        // then new.
+        // workload relabeled as the same scenario. MenuDisplay itself
+        // issues quick `fv.sys` file-table queries, so those tuples are
+        // NOT new — but the encrypted-read chains (`fs.sys!Read` waiting
+        // behind `se.sys!ReadDecrypt`) exist only in the tab-create
+        // workload and must be flagged as new.
         let baseline = dataset(21, "MenuDisplay");
         let mut candidate = dataset(22, "BrowserTabCreate");
         for i in &mut candidate.instances {
@@ -265,8 +272,13 @@ mod tests {
         assert!(!regs.is_empty(), "expected new behaviors");
         let text: String = regs.iter().map(|r| r.render()).collect();
         assert!(
-            text.contains("fv.sys!QueryFileTable"),
-            "filesystem chains must be flagged: {text}"
+            text.contains("se.sys!ReadDecrypt"),
+            "encrypted-read chains must be flagged: {text}"
+        );
+        assert!(
+            regs.iter()
+                .any(|r| r.is_new() && r.wait.iter().any(|w| w.contains("fs.sys!Read"))),
+            "fs.sys!Read waits must be flagged as new"
         );
         assert!(regs.iter().any(|r| r.is_new()));
     }

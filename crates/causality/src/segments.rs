@@ -89,7 +89,11 @@ mod tests {
         for (i, key) in keys.into_iter().enumerate() {
             g.nodes.push(AwgNode {
                 key,
-                parent: if i == 0 { None } else { Some(AwgId(i as u32 - 1)) },
+                parent: if i == 0 {
+                    None
+                } else {
+                    Some(AwgId(i as u32 - 1))
+                },
                 children: Vec::new(),
                 c: TimeNs(100 * (i as u64 + 1)),
                 n: i as u64 + 1,

@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use tracelens_causality::{
-    enumerate_meta_patterns, split_classes, CausalityAnalysis, CausalityConfig,
-    SignatureSetTuple,
+    enumerate_meta_patterns, split_classes, CausalityAnalysis, CausalityConfig, SignatureSetTuple,
 };
 use tracelens_model::{ScenarioName, Symbol, TimeNs};
 use tracelens_sim::{DatasetBuilder, ScenarioMix};

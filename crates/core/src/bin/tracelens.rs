@@ -189,7 +189,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     match opts.value("o") {
         Some(out_path) => {
-            let out = File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
+            let out =
+                File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?;
             ds.write_text(BufWriter::new(out))
                 .map_err(|e| format!("write failed: {e}"))?;
             eprintln!("wrote {out_path}");
@@ -198,7 +199,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             for i in &ds.instances {
                 println!(
                     "{}  {}  thread {}  duration {}",
-                    i.trace, i.scenario, i.tid, i.duration()
+                    i.trace,
+                    i.scenario,
+                    i.tid,
+                    i.duration()
                 );
             }
         }
@@ -482,7 +486,11 @@ fn cmd_regress(args: &[String]) -> Result<(), String> {
         let growth = if r.is_new() {
             "NEW".to_owned()
         } else {
-            format!("{:.1}x (was {})", r.factor(), r.baseline_avg.expect("not new"))
+            format!(
+                "{:.1}x (was {})",
+                r.factor(),
+                r.baseline_avg.expect("not new")
+            )
         };
         println!(
             "

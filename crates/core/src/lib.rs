@@ -47,6 +47,7 @@ pub use tracelens_baselines as baselines;
 pub use tracelens_causality as causality;
 pub use tracelens_impact as impact;
 pub use tracelens_model as model;
+pub use tracelens_obs as obs;
 pub use tracelens_sim as sim;
 pub use tracelens_waitgraph as waitgraph;
 
@@ -63,6 +64,7 @@ pub mod prelude {
         ScenarioInstance, ScenarioName, StackTable, Thresholds, TimeNs, TraceStream,
         TraceStreamBuilder,
     };
+    pub use tracelens_obs::{stage, CollectingSink, RunReport, Telemetry};
     pub use tracelens_sim::{DatasetBuilder, Machine, ProgramBuilder, ScenarioMix};
     pub use tracelens_waitgraph::{StreamIndex, WaitGraph};
 

@@ -166,10 +166,7 @@ mod tests {
         // Markdown tables are well-formed: every table row has the same
         // column count as its header.
         for block in md.split("\n\n") {
-            let rows: Vec<&str> = block
-                .lines()
-                .filter(|l| l.starts_with('|'))
-                .collect();
+            let rows: Vec<&str> = block.lines().filter(|l| l.starts_with('|')).collect();
             if rows.len() >= 2 {
                 let cols = rows[0].matches('|').count();
                 for r in &rows {

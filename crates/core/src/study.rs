@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use tracelens_causality::{CausalityAnalysis, CausalityConfig, CausalityError, CausalityReport};
 use tracelens_impact::{ImpactAnalyzer, ImpactReport};
 use tracelens_model::{ComponentFilter, Dataset, ScenarioName};
+use tracelens_obs::{stage, Telemetry};
 
 /// Configuration of a [`Study`].
 #[derive(Debug, Clone)]
@@ -50,9 +51,29 @@ impl Study {
     /// Runs the study over `dataset` for the scenarios in `names`
     /// (typically the eight selected evaluation scenarios).
     pub fn run(dataset: &Dataset, config: &StudyConfig, names: &[ScenarioName]) -> Study {
-        let analyzer = ImpactAnalyzer::new(config.components.clone());
-        let causality = CausalityAnalysis::new(config.causality.clone());
+        Study::run_traced(dataset, config, names, &Telemetry::noop())
+    }
+
+    /// [`Study::run`] with telemetry: the whole run is wrapped in a
+    /// `study` span and every pipeline stage (impact, classification,
+    /// Wait-Graph construction, aggregation, segment enumeration,
+    /// contrast mining) reports spans and counters through `telemetry`.
+    /// With a disabled handle this is exactly `run`.
+    pub fn run_traced(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+        telemetry: &Telemetry,
+    ) -> Study {
+        let _span = telemetry.span(stage::STUDY);
+        let analyzer =
+            ImpactAnalyzer::new(config.components.clone()).with_telemetry(telemetry.clone());
+        let causality =
+            CausalityAnalysis::new(config.causality.clone()).with_telemetry(telemetry.clone());
         let impact = analyzer.analyze(dataset);
+        if telemetry.enabled() {
+            telemetry.count("study.scenarios", names.len() as u64);
+        }
         let mut scenarios = BTreeMap::new();
         for name in names {
             let scenario_impact = analyzer.analyze_where(dataset, |i| &i.scenario == name);
@@ -77,8 +98,7 @@ impl Study {
 
     /// Runs the study over all scenarios present in the data set.
     pub fn run_all(dataset: &Dataset, config: &StudyConfig) -> Study {
-        let names: Vec<ScenarioName> =
-            dataset.scenarios.iter().map(|s| s.name.clone()).collect();
+        let names: Vec<ScenarioName> = dataset.scenarios.iter().map(|s| s.name.clone()).collect();
         Study::run(dataset, config, &names)
     }
 }

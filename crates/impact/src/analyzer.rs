@@ -31,12 +31,23 @@ use tracelens_waitgraph::{NodeKind, StreamIndex, WaitGraph};
 #[derive(Debug, Clone)]
 pub struct ImpactAnalyzer {
     filter: ComponentFilter,
+    telemetry: tracelens_obs::Telemetry,
 }
 
 impl ImpactAnalyzer {
     /// Creates an analyzer for the given component filter.
     pub fn new(filter: ComponentFilter) -> Self {
-        ImpactAnalyzer { filter }
+        ImpactAnalyzer {
+            filter,
+            telemetry: tracelens_obs::Telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry handle; each analysis then reports an
+    /// `impact` stage span plus graph/node counters through it.
+    pub fn with_telemetry(mut self, telemetry: tracelens_obs::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The component filter in use.
@@ -55,6 +66,7 @@ impl ImpactAnalyzer {
     where
         F: Fn(&ScenarioInstance) -> bool,
     {
+        let _span = self.telemetry.span(tracelens_obs::stage::IMPACT);
         let mut intervals: BTreeMap<TraceId, Vec<(TimeNs, TimeNs)>> = BTreeMap::new();
         let mut report = ImpactReport::default();
         for stream in &dataset.streams {
@@ -66,16 +78,21 @@ impl ImpactAnalyzer {
             if instances.is_empty() {
                 continue;
             }
-            let index = StreamIndex::new(stream);
+            let index = StreamIndex::new_traced(stream, &self.telemetry);
             let per_trace = intervals.entry(stream.id()).or_default();
             for instance in instances {
-                let graph = WaitGraph::build(stream, &index, instance);
-                let partial =
-                    self.account_graph(&graph, &dataset.stacks, instance, per_trace);
+                let graph = WaitGraph::build_traced(stream, &index, instance, &self.telemetry);
+                let partial = self.account_graph(&graph, &dataset.stacks, instance, per_trace);
                 report.absorb(&partial);
             }
         }
         report.d_wait_dist = intervals.values().map(|iv| union_length(iv.clone())).sum();
+        if self.telemetry.enabled() {
+            self.telemetry
+                .count("impact.instances", report.instances as u64);
+            self.telemetry
+                .count("impact.nodes_visited", report.nodes_visited as u64);
+        }
         report
     }
 
@@ -230,9 +247,9 @@ mod tests {
     ///   T2 runs 10..30 under fs.sys then unwaits T1.
     fn fixture() -> Dataset {
         let mut ds = Dataset::new();
-        let fv = ds
-            .stacks
-            .intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
+        let fv =
+            ds.stacks
+                .intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
         let fs_run = ds.stacks.intern_symbols(&["app!W", "fs.sys!Read"]);
         let app_run = ds.stacks.intern_symbols(&["app!Main"]);
         let mut b = TraceStreamBuilder::new(0);
@@ -270,9 +287,9 @@ mod tests {
         // Three instances all suspended over the same 0..100 delay: their
         // top-level waits overlap, so D_wait ≈ 3×100 but D_waitdist ≈ 100.
         let mut ds = Dataset::new();
-        let drv = ds
-            .stacks
-            .intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
+        let drv =
+            ds.stacks
+                .intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
         let run = ds.stacks.intern_symbols(&["w!W", "se.sys!ReadDecrypt"]);
         let mut b = TraceStreamBuilder::new(0);
         b.push_running(ThreadId(9), TimeNs(0), TimeNs(100), run);
@@ -306,9 +323,9 @@ mod tests {
     fn disjoint_waits_do_not_amplify() {
         // Two instances waiting at disjoint times: amplification = 1.
         let mut ds = Dataset::new();
-        let drv = ds
-            .stacks
-            .intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
+        let drv =
+            ds.stacks
+                .intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
         let mut b = TraceStreamBuilder::new(0);
         b.push_wait(ThreadId(1), TimeNs(0), TimeNs::ZERO, drv);
         b.push_unwait(ThreadId(9), ThreadId(1), TimeNs(50), drv);
@@ -334,9 +351,9 @@ mod tests {
     fn nested_component_waits_count_once() {
         // A driver wait under another driver wait must not double-count.
         let mut ds = Dataset::new();
-        let drv = ds
-            .stacks
-            .intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
+        let drv =
+            ds.stacks
+                .intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
         let mut b = TraceStreamBuilder::new(0);
         b.push_wait(ThreadId(1), TimeNs(0), TimeNs::ZERO, drv);
         b.push_wait(ThreadId(2), TimeNs(0), TimeNs::ZERO, drv);
@@ -368,9 +385,9 @@ mod tests {
     fn analyze_by_process_partitions_instances() {
         // Two instances from different processes on one stream.
         let mut ds = Dataset::new();
-        let drv = ds
-            .stacks
-            .intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
+        let drv =
+            ds.stacks
+                .intern_symbols(&["app!Main", "fs.sys!AcquireMDU", "kernel!AcquireLock"]);
         let mut b = TraceStreamBuilder::new(0);
         b.set_process(tracelens_model::ProcessId(1));
         b.push_wait(ThreadId(1), TimeNs(0), TimeNs::ZERO, drv);

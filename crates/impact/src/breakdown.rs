@@ -7,9 +7,7 @@
 //! remainder (scheduling gaps, app-level waits).
 
 use std::collections::BTreeMap;
-use tracelens_model::{
-    ComponentFilter, Dataset, ScenarioInstance, Signature, StackTable, TimeNs,
-};
+use tracelens_model::{ComponentFilter, Dataset, ScenarioInstance, Signature, StackTable, TimeNs};
 use tracelens_waitgraph::{NodeKind, StreamIndex, WaitGraph};
 
 /// Aggregated attribution over a set of instances.
@@ -78,14 +76,11 @@ where
             out.total += instance.duration();
             out.instances += 1;
             let mut covered = TimeNs::ZERO;
-            account(
-                &graph,
-                &dataset.stacks,
-                filter,
-                &mut out,
-                &mut covered,
-            );
-            out.unattributed += instance.duration().checked_sub(covered).unwrap_or(TimeNs::ZERO);
+            account(&graph, &dataset.stacks, filter, &mut out, &mut covered);
+            out.unattributed += instance
+                .duration()
+                .checked_sub(covered)
+                .unwrap_or(TimeNs::ZERO);
         }
     }
     out
@@ -100,11 +95,8 @@ fn account(
 ) {
     // Roots: initiating-thread events. `covered` counts the root-level
     // durations that the breakdown attributes.
-    let mut todo: Vec<(tracelens_waitgraph::NodeId, bool, bool)> = graph
-        .roots()
-        .iter()
-        .map(|&r| (r, true, false))
-        .collect();
+    let mut todo: Vec<(tracelens_waitgraph::NodeId, bool, bool)> =
+        graph.roots().iter().map(|&r| (r, true, false)).collect();
     while let Some((id, is_root, under)) = todo.pop() {
         let node = graph.node(id);
         let mut now_under = under;
@@ -132,8 +124,7 @@ fn account(
                             .and_then(Signature::module_of)
                             .unwrap_or("?")
                             .to_owned();
-                        *out.wait_by_module.entry(module).or_insert(TimeNs::ZERO) +=
-                            node.duration;
+                        *out.wait_by_module.entry(module).or_insert(TimeNs::ZERO) += node.duration;
                         now_under = true;
                     }
                 }
@@ -154,9 +145,9 @@ mod tests {
     fn fixture() -> Dataset {
         let mut ds = Dataset::new();
         let app = ds.stacks.intern_symbols(&["app!Main"]);
-        let fv = ds
-            .stacks
-            .intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
+        let fv =
+            ds.stacks
+                .intern_symbols(&["app!Main", "fv.sys!QueryFileTable", "kernel!AcquireLock"]);
         let se_run = ds.stacks.intern_symbols(&["w!W", "se.sys!ReadDecrypt"]);
         let mut b = TraceStreamBuilder::new(0);
         b.push_running(ThreadId(1), TimeNs(0), TimeNs(10), app); // app cpu 10

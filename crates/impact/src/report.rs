@@ -84,11 +84,7 @@ impl fmt::Display for ImpactReport {
         writeln!(f, "IA_wait            : {:.1}%", self.ia_wait() * 100.0)?;
         writeln!(f, "IA_run             : {:.1}%", self.ia_run() * 100.0)?;
         writeln!(f, "IA_opt             : {:.1}%", self.ia_opt() * 100.0)?;
-        write!(
-            f,
-            "Dwait/Dwaitdist    : {:.2}",
-            self.wait_amplification()
-        )
+        write!(f, "Dwait/Dwaitdist    : {:.2}", self.wait_amplification())
     }
 }
 

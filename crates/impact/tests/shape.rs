@@ -20,11 +20,7 @@ fn driver_impact_shape_matches_paper() {
         report.ia_wait()
     );
     // IA_run is small (paper: 1.6%) — drivers do little computation.
-    assert!(
-        report.ia_run() < 0.10,
-        "IA_run = {:.3}",
-        report.ia_run()
-    );
+    assert!(report.ia_run() < 0.10, "IA_run = {:.3}", report.ia_run());
     // Waiting dominates running by an order of magnitude.
     assert!(report.ia_wait() > 5.0 * report.ia_run());
     // Cost propagation multiplies waiting across instances
@@ -35,11 +31,7 @@ fn driver_impact_shape_matches_paper() {
         report.wait_amplification()
     );
     // IA_opt is a meaningful share of IA_wait (paper: 26% of 36.4%).
-    assert!(
-        report.ia_opt() > 0.01,
-        "IA_opt = {:.3}",
-        report.ia_opt()
-    );
+    assert!(report.ia_opt() > 0.01, "IA_opt = {:.3}", report.ia_opt());
     assert!(report.ia_opt() < report.ia_wait());
 }
 

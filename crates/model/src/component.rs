@@ -262,7 +262,10 @@ mod tests {
             DriverType::classify("fs.sys"),
             Some(DriverType::FileSystemGeneralStorage)
         );
-        assert_eq!(DriverType::classify("av.sys"), Some(DriverType::FileSystemFilter));
+        assert_eq!(
+            DriverType::classify("av.sys"),
+            Some(DriverType::FileSystemFilter)
+        );
         assert_eq!(DriverType::classify("net.sys"), Some(DriverType::Network));
         assert_eq!(DriverType::classify("kernel"), None);
         assert_eq!(DriverType::ALL.len(), 10);

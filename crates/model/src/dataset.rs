@@ -99,7 +99,8 @@ mod tests {
 
     fn tiny() -> Dataset {
         let mut ds = Dataset::new();
-        ds.streams.push(TraceStreamBuilder::new(0).finish().unwrap());
+        ds.streams
+            .push(TraceStreamBuilder::new(0).finish().unwrap());
         ds.scenarios.push(Scenario::new(
             ScenarioName::new("A"),
             Thresholds::new(TimeNs(10), TimeNs(20)),

@@ -30,7 +30,11 @@ pub struct InternError {
 
 impl fmt::Display for InternError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "symbol {:?} is not present in this interner", self.symbol)
+        write!(
+            f,
+            "symbol {:?} is not present in this interner",
+            self.symbol
+        )
     }
 }
 

@@ -37,7 +37,10 @@ impl Signature {
     /// Returns [`ParseSignatureError`] if either part is empty or contains
     /// the `!` separator.
     pub fn new(module: &str, function: &str) -> Result<Self, ParseSignatureError> {
-        if module.is_empty() || function.is_empty() || module.contains('!') || function.contains('!')
+        if module.is_empty()
+            || function.is_empty()
+            || module.contains('!')
+            || function.contains('!')
         {
             return Err(ParseSignatureError {
                 text: format!("{module}!{function}"),

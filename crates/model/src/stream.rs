@@ -51,7 +51,11 @@ impl TraceStream {
 
     /// Latest end timestamp over all events, or zero for an empty stream.
     pub fn end(&self) -> TimeNs {
-        self.events.iter().map(Event::end).max().unwrap_or(TimeNs::ZERO)
+        self.events
+            .iter()
+            .map(Event::end)
+            .max()
+            .unwrap_or(TimeNs::ZERO)
     }
 
     /// Iterates `(EventId, &Event)` pairs whose start time lies in
@@ -89,12 +93,7 @@ impl TraceStream {
     pub fn truncated(&self, at: TimeNs) -> TraceStream {
         TraceStream {
             id: self.id,
-            events: self
-                .events
-                .iter()
-                .filter(|e| e.t < at)
-                .copied()
-                .collect(),
+            events: self.events.iter().filter(|e| e.t < at).copied().collect(),
         }
     }
 
@@ -137,7 +136,10 @@ impl fmt::Display for StreamError {
                 write!(f, "unwait event at index {index} has no woken-thread id")
             }
             StreamError::UnexpectedTarget { index } => {
-                write!(f, "non-unwait event at index {index} carries a woken-thread id")
+                write!(
+                    f,
+                    "non-unwait event at index {index} carries a woken-thread id"
+                )
             }
             StreamError::SelfUnwait { index } => {
                 write!(f, "unwait event at index {index} wakes its own thread")
@@ -213,7 +215,13 @@ impl TraceStreamBuilder {
 
     /// Pushes a wait event. `cost` may be zero; Wait-Graph construction
     /// restores it from the paired unwait.
-    pub fn push_wait(&mut self, tid: ThreadId, t: TimeNs, cost: TimeNs, stack: StackId) -> &mut Self {
+    pub fn push_wait(
+        &mut self,
+        tid: ThreadId,
+        t: TimeNs,
+        cost: TimeNs,
+        stack: StackId,
+    ) -> &mut Self {
         self.push(Event {
             kind: EventKind::Wait,
             tid,
@@ -356,7 +364,10 @@ mod tests {
 
         let mut b = TraceStreamBuilder::new(0);
         b.push_unwait(ThreadId(1), ThreadId(1), TimeNs(1), StackId(0));
-        assert_eq!(b.finish().unwrap_err(), StreamError::SelfUnwait { index: 0 });
+        assert_eq!(
+            b.finish().unwrap_err(),
+            StreamError::SelfUnwait { index: 0 }
+        );
 
         let mut b = TraceStreamBuilder::new(0);
         b.push(Event {

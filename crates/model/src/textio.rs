@@ -184,12 +184,8 @@ impl Dataset {
                     if fields.len() != 4 {
                         return Err(err(lineno, "!scenario needs name, t_fast, t_slow"));
                     }
-                    let fast: u64 = fields[2]
-                        .parse()
-                        .map_err(|_| err(lineno, "bad t_fast"))?;
-                    let slow: u64 = fields[3]
-                        .parse()
-                        .map_err(|_| err(lineno, "bad t_slow"))?;
+                    let fast: u64 = fields[2].parse().map_err(|_| err(lineno, "bad t_fast"))?;
+                    let slow: u64 = fields[3].parse().map_err(|_| err(lineno, "bad t_slow"))?;
                     if fast >= slow {
                         return Err(err(lineno, "t_fast must be below t_slow"));
                     }
@@ -202,17 +198,17 @@ impl Dataset {
                     if fields.len() < 2 {
                         return Err(err(lineno, "!stack needs an id"));
                     }
-                    let raw: u32 = fields[1]
-                        .parse()
-                        .map_err(|_| err(lineno, "bad stack id"))?;
+                    let raw: u32 = fields[1].parse().map_err(|_| err(lineno, "bad stack id"))?;
                     let interned = ds.stacks.intern_symbols(&fields[2..]);
                     stack_ids.insert(raw, interned);
                 }
                 "!trace" => {
                     if let Some((_, b)) = current.take() {
-                        ds.streams.push(b.finish().map_err(|e| {
-                            err(lineno, &format!("previous trace invalid: {e}"))
-                        })?);
+                        ds.streams.push(
+                            b.finish().map_err(|e| {
+                                err(lineno, &format!("previous trace invalid: {e}"))
+                            })?,
+                        );
                     }
                     let id: u32 = fields
                         .get(1)
@@ -230,15 +226,10 @@ impl Dataset {
                     if fields.len() < 7 {
                         return Err(err(lineno, "event needs kind,tid,pid,t,cost,stack"));
                     }
-                    let tid = ThreadId(
-                        fields[2].parse().map_err(|_| err(lineno, "bad tid"))?,
-                    );
-                    let pid = ProcessId(
-                        fields[3].parse().map_err(|_| err(lineno, "bad pid"))?,
-                    );
+                    let tid = ThreadId(fields[2].parse().map_err(|_| err(lineno, "bad tid"))?);
+                    let pid = ProcessId(fields[3].parse().map_err(|_| err(lineno, "bad pid"))?);
                     let t = TimeNs(fields[4].parse().map_err(|_| err(lineno, "bad t"))?);
-                    let cost =
-                        TimeNs(fields[5].parse().map_err(|_| err(lineno, "bad cost"))?);
+                    let cost = TimeNs(fields[5].parse().map_err(|_| err(lineno, "bad cost"))?);
                     let raw_stack: u32 =
                         fields[6].parse().map_err(|_| err(lineno, "bad stack id"))?;
                     let stack = *stack_ids
@@ -256,17 +247,14 @@ impl Dataset {
                                 .ok_or_else(|| err(lineno, "unwait needs wtid"))?;
                             builder.push_unwait(tid, ThreadId(w), t, stack)
                         }
-                        other => {
-                            return Err(err(lineno, &format!("unknown event kind {other:?}")))
-                        }
+                        other => return Err(err(lineno, &format!("unknown event kind {other:?}"))),
                     };
                 }
                 "!instance" => {
                     if fields.len() != 6 {
                         return Err(err(lineno, "!instance needs trace,tid,t0,t1,scenario"));
                     }
-                    let trace: u32 =
-                        fields[1].parse().map_err(|_| err(lineno, "bad trace id"))?;
+                    let trace: u32 = fields[1].parse().map_err(|_| err(lineno, "bad trace id"))?;
                     let tid: u32 = fields[2].parse().map_err(|_| err(lineno, "bad tid"))?;
                     let t0: u64 = fields[3].parse().map_err(|_| err(lineno, "bad t0"))?;
                     let t1: u64 = fields[4].parse().map_err(|_| err(lineno, "bad t1"))?;
@@ -444,6 +432,9 @@ mod tests {
     fn mentions_component_prefilter() {
         let ds = tiny();
         assert!(mentions_component(&ds, &ComponentFilter::suffix(".sys")));
-        assert!(!mentions_component(&ds, &ComponentFilter::names(["net.sys"])));
+        assert!(!mentions_component(
+            &ds,
+            &ComponentFilter::names(["net.sys"])
+        ));
     }
 }

@@ -99,7 +99,11 @@ pub struct ValidationError {
 
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "data set failed validation ({} problems):", self.violations.len())?;
+        writeln!(
+            f,
+            "data set failed validation ({} problems):",
+            self.violations.len()
+        )?;
         for v in &self.violations {
             writeln!(f, "  - {v}")?;
         }

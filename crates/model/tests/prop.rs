@@ -10,9 +10,7 @@ use tracelens_model::{
 fn glob_ref(pattern: &[char], text: &[char]) -> bool {
     match pattern.split_first() {
         None => text.is_empty(),
-        Some(('*', rest)) => {
-            (0..=text.len()).any(|i| glob_ref(rest, &text[i..]))
-        }
+        Some(('*', rest)) => (0..=text.len()).any(|i| glob_ref(rest, &text[i..])),
         Some((&c, rest)) => text.first() == Some(&c) && glob_ref(rest, &text[1..]),
     }
 }

@@ -1,0 +1,156 @@
+//! Fixed-bucket histograms for latency-shaped distributions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default bucket upper bounds for nanosecond latencies: powers of four
+/// from 1 µs to ~4.6 min, plus the implicit overflow bucket. Thirteen
+/// buckets cover six decades — coarse, but a telemetry report needs the
+/// shape, not percentile-exact tails.
+pub const DEFAULT_TIME_BOUNDS_NS: &[u64] = &[
+    1_000,           // 1 µs
+    4_000,           // 4 µs
+    16_000,          // 16 µs
+    64_000,          // 64 µs
+    256_000,         // 256 µs
+    1_024_000,       // ~1 ms
+    4_096_000,       // ~4 ms
+    16_384_000,      // ~16 ms
+    65_536_000,      // ~66 ms
+    262_144_000,     // ~262 ms
+    1_048_576_000,   // ~1 s
+    4_194_304_000,   // ~4.2 s
+    16_777_216_000,  // ~16.8 s
+    67_108_864_000,  // ~67 s
+    268_435_456_000, // ~4.5 min
+];
+
+/// A histogram with fixed, monotonically increasing bucket bounds.
+///
+/// `bounds[i]` is the *inclusive* upper edge of bucket `i`; one extra
+/// bucket catches everything above the last bound. Recording is a
+/// binary search plus one relaxed atomic increment — safe to call from
+/// any thread, never allocates.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// If `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram with [`DEFAULT_TIME_BOUNDS_NS`].
+    pub fn time() -> Histogram {
+        Histogram::new(DEFAULT_TIME_BOUNDS_NS)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        // partition_point returns the count of bounds strictly below
+        // `value`, i.e. the first bucket whose inclusive edge admits it.
+        let bucket = self.bounds.partition_point(|&b| b < value);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// The bucket upper bounds (exclusive of the overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Snapshot of all bucket counts; the final entry is the overflow
+    /// bucket (observations above the last bound).
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of observations.
+    pub fn n(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+
+    /// Sum of all observed values (wraps on overflow, like the atomics).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_inclusive() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(0); // -> bucket 0
+        h.record(10); // inclusive edge -> bucket 0
+        h.record(11); // -> bucket 1
+        h.record(100); // inclusive edge -> bucket 1
+        h.record(101); // -> overflow
+        h.record(u64::MAX); // -> overflow
+        assert_eq!(h.counts(), vec![2, 2, 2]);
+        assert_eq!(h.n(), 6);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let h = Histogram::new(&[5]);
+        h.record(3);
+        h.record(4);
+        h.record(1000);
+        assert_eq!(h.sum(), 1007);
+    }
+
+    #[test]
+    fn default_time_bounds_are_strictly_increasing() {
+        let h = Histogram::time();
+        assert_eq!(h.bounds().len(), DEFAULT_TIME_BOUNDS_NS.len());
+        assert_eq!(h.counts().len(), DEFAULT_TIME_BOUNDS_NS.len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new(&[50]));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record(t * 25 + (i % 3));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.n(), 4000);
+    }
+}

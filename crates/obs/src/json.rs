@@ -1,0 +1,531 @@
+//! A hand-rolled JSON writer and reader.
+//!
+//! The workspace is deliberately dependency-free, so — like
+//! `tracelens::textio` for trace files — telemetry reports get their own
+//! small, strict JSON layer. The writer emits canonical, valid JSON
+//! (escaped strings, no trailing commas, integers rendered exactly); the
+//! reader parses the full JSON grammar into a [`Value`] tree and exists
+//! mainly so tests can prove the writer's output round-trips.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON document.
+///
+/// Numbers keep their exact representation class: integers that fit
+/// `u64`/`i64` stay integers, everything else becomes a float. Objects
+/// use a [`BTreeMap`] so re-serialization is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`.
+    UInt(u64),
+    /// A negative integer that fits `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Looks up `key` if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` to `out` with JSON escaping, including the quotes.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes `s` as a standalone JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_escaped(&mut out, s);
+    out
+}
+
+/// An incremental JSON writer producing pretty-printed output.
+///
+/// The caller drives structure with [`begin_obj`](JsonWriter::begin_obj) /
+/// [`end_obj`](JsonWriter::end_obj) and friends; the writer tracks
+/// nesting depth, indentation and comma placement. Misuse (closing an
+/// unopened scope) panics: report rendering is entirely under this
+/// crate's control, so a structural bug is a programming error.
+#[derive(Debug)]
+pub struct JsonWriter {
+    out: String,
+    /// Whether the current nesting level already holds an element.
+    has_item: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            has_item: Vec::new(),
+        }
+    }
+
+    /// Finishes and returns the document text.
+    pub fn finish(self) -> String {
+        assert!(self.has_item.is_empty(), "unclosed JSON scope");
+        self.out
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.has_item.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Starts a new element at the current level: comma, newline, indent.
+    fn element(&mut self) {
+        if let Some(has) = self.has_item.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+            self.out.push('\n');
+            self.pad();
+        }
+    }
+
+    fn open(&mut self, bracket: char, key: Option<&str>) {
+        self.element();
+        if let Some(key) = key {
+            write_escaped(&mut self.out, key);
+            self.out.push_str(": ");
+        }
+        self.out.push(bracket);
+        self.has_item.push(false);
+    }
+
+    fn close(&mut self, bracket: char) {
+        let had_items = self.has_item.pop().expect("no scope to close");
+        if had_items {
+            self.out.push('\n');
+            self.pad();
+        }
+        self.out.push(bracket);
+    }
+
+    /// Opens `{`, optionally as the value of `key` in the parent object.
+    pub fn begin_obj(&mut self, key: Option<&str>) {
+        self.open('{', key);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) {
+        self.close('}');
+    }
+
+    /// Opens `[`, optionally as the value of `key` in the parent object.
+    pub fn begin_arr(&mut self, key: Option<&str>) {
+        self.open('[', key);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) {
+        self.close(']');
+    }
+
+    fn keyed(&mut self, key: Option<&str>) {
+        self.element();
+        if let Some(key) = key {
+            write_escaped(&mut self.out, key);
+            self.out.push_str(": ");
+        }
+    }
+
+    /// Writes a string field/element.
+    pub fn str(&mut self, key: Option<&str>, value: &str) {
+        self.keyed(key);
+        write_escaped(&mut self.out, value);
+    }
+
+    /// Writes an unsigned integer field/element.
+    pub fn u64(&mut self, key: Option<&str>, value: u64) {
+        self.keyed(key);
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a signed integer field/element.
+    pub fn i64(&mut self, key: Option<&str>, value: i64) {
+        self.keyed(key);
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a float field/element (`null` for non-finite values).
+    pub fn f64(&mut self, key: Option<&str>, value: f64) {
+        self.keyed(key);
+        if value.is_finite() {
+            // `{:?}` keeps a decimal point or exponent, so the reader
+            // classifies it back as a float.
+            let _ = write!(self.out, "{value:?}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean field/element.
+    pub fn bool(&mut self, key: Option<&str>, value: bool) {
+        self.keyed(key);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Writes a `null` field/element.
+    pub fn null(&mut self, key: Option<&str>) {
+        self.keyed(key);
+        self.out.push_str("null");
+    }
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        JsonWriter::new()
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut p = Parser {
+        chars: bytes,
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing input at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at offset {}", self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(map)),
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(items)),
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{08}'),
+                    Some('f') => out.push('\u{0C}'),
+                    Some('u') => out.push(self.unicode_escape()?),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err(format!("raw control character {c:?} in string"));
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut n = 0u32;
+        for _ in 0..4 {
+            let c = self.bump().ok_or("truncated \\u escape")?;
+            let d = c.to_digit(16).ok_or(format!("bad hex digit {c:?}"))?;
+            n = n * 16 + d;
+        }
+        Ok(n)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        // Surrogate pairs encode astral-plane characters.
+        if (0xD800..0xDC00).contains(&hi) {
+            self.expect('\\')?;
+            self.expect('u')?;
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(format!("unpaired surrogate {hi:04x}"));
+            }
+            let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(c).ok_or(format!("bad surrogate pair {c:x}"))
+        } else {
+            char::from_u32(hi).ok_or(format!("bad scalar \\u{hi:04x}"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b"), r#""a\"b""#);
+        assert_eq!(escape("a\\b"), r#""a\\b""#);
+        assert_eq!(escape("a\nb"), r#""a\nb""#);
+        assert_eq!(escape("\u{01}"), "\"\\u0001\"");
+        assert_eq!(escape("héllo"), "\"héllo\"");
+    }
+
+    #[test]
+    fn writer_produces_parseable_nested_structure() {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.str(Some("name"), "run \"A\"");
+        w.u64(Some("events"), u64::MAX);
+        w.i64(Some("delta"), -3);
+        w.f64(Some("ratio"), 0.25);
+        w.bool(Some("ok"), true);
+        w.null(Some("skip"));
+        w.begin_arr(Some("stages"));
+        w.str(None, "sim");
+        w.str(None, "contrast");
+        w.begin_obj(None);
+        w.u64(Some("n"), 7);
+        w.end_obj();
+        w.end_arr();
+        w.begin_obj(Some("empty"));
+        w.end_obj();
+        w.end_obj();
+        let text = w.finish();
+        let v = parse(&text).expect("writer output parses");
+        assert_eq!(v.get("name").unwrap().as_str(), Some("run \"A\""));
+        assert_eq!(v.get("events").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("delta"), Some(&Value::Int(-3)));
+        assert_eq!(v.get("ratio"), Some(&Value::Float(0.25)));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("skip"), Some(&Value::Null));
+        let stages = v.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[2].get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("empty"), Some(&Value::Obj(BTreeMap::new())));
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        assert_eq!(parse(r#""A""#), Ok(Value::Str("A".into())));
+        assert_eq!(parse(r#""😀""#), Ok(Value::Str("😀".into())));
+        assert!(parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "tru",
+            "\"\x01\"",
+            "01x",
+            "1} ",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn numbers_keep_their_class() {
+        assert_eq!(parse("0"), Ok(Value::UInt(0)));
+        assert_eq!(parse("18446744073709551615"), Ok(Value::UInt(u64::MAX)));
+        assert_eq!(parse("-9223372036854775808"), Ok(Value::Int(i64::MIN)));
+        assert_eq!(parse("1.5e3"), Ok(Value::Float(1500.0)));
+        assert_eq!(parse("-0.5"), Ok(Value::Float(-0.5)));
+    }
+}

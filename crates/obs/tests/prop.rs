@@ -1,0 +1,180 @@
+//! Property-based tests for the JSON layer and report rendering.
+
+use proptest::prelude::*;
+use tracelens_obs::json::{self, Value};
+use tracelens_obs::{CollectingSink, Histogram};
+
+/// Re-serializes a parsed value with the writer, canonically.
+fn write_value(w: &mut json::JsonWriter, key: Option<&str>, v: &Value) {
+    match v {
+        Value::Null => w.null(key),
+        Value::Bool(b) => w.bool(key, *b),
+        Value::UInt(n) => w.u64(key, *n),
+        Value::Int(n) => w.i64(key, *n),
+        Value::Float(f) => w.f64(key, *f),
+        Value::Str(s) => w.str(key, s),
+        Value::Arr(items) => {
+            w.begin_arr(key);
+            for item in items {
+                write_value(w, None, item);
+            }
+            w.end_arr();
+        }
+        Value::Obj(map) => {
+            w.begin_obj(key);
+            for (k, item) in map {
+                write_value(w, Some(k), item);
+            }
+            w.end_obj();
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary strings (the `any::<String>` domain includes controls,
+    /// quotes, backslashes and astral-plane characters) survive
+    /// escape → parse unchanged.
+    #[test]
+    fn string_escaping_round_trips(s in any::<String>()) {
+        let escaped = json::escape(&s);
+        let parsed = json::parse(&escaped).expect("escaped string parses");
+        prop_assert_eq!(parsed, Value::Str(s));
+    }
+
+    /// The escaped form never leaks raw quotes, backslashes or control
+    /// characters into the document.
+    #[test]
+    fn escaped_form_is_clean(s in any::<String>()) {
+        let escaped = json::escape(&s);
+        let body = &escaped[1..escaped.len() - 1];
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            prop_assert!((c as u32) >= 0x20, "raw control {c:?} in {escaped:?}");
+            prop_assert!(c != '"', "raw quote in {escaped:?}");
+            if c == '\\' {
+                let next = chars.next().expect("escape has a follower");
+                prop_assert!("\"\\/nrtbfu".contains(next), "bad escape \\{next}");
+                if next == 'u' {
+                    for _ in 0..4 {
+                        let d = chars.next().expect("four hex digits");
+                        prop_assert!(d.is_ascii_hexdigit());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unsigned and signed integers round-trip exactly across the full
+    /// 64-bit range.
+    #[test]
+    fn integers_round_trip(u in any::<u64>(), i in any::<i64>()) {
+        prop_assert_eq!(json::parse(&u.to_string()), Ok(Value::UInt(u)));
+        let expected = if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) };
+        prop_assert_eq!(json::parse(&i.to_string()), Ok(expected));
+    }
+
+    /// Writer output re-parses to the same tree, including nesting.
+    #[test]
+    fn documents_round_trip(
+        keys in prop::collection::vec("[a-z_.]{1,12}", 1..6),
+        strings in prop::collection::vec(any::<String>(), 1..6),
+        nums in prop::collection::vec(any::<u64>(), 1..6),
+    ) {
+        let mut w = json::JsonWriter::new();
+        w.begin_obj(None);
+        for (i, key) in keys.iter().enumerate() {
+            let s = &strings[i % strings.len()];
+            let n = nums[i % nums.len()];
+            w.begin_obj(Some(key));
+            w.str(Some("text"), s);
+            w.u64(Some("n"), n);
+            w.begin_arr(Some("items"));
+            w.str(None, s);
+            w.u64(None, n);
+            w.end_arr();
+            w.end_obj();
+        }
+        w.end_obj();
+        let text = w.finish();
+        let parsed = json::parse(&text).expect("writer output parses");
+        // Distinct keys each carry their own payload back out.
+        for (i, key) in keys.iter().enumerate() {
+            let Some(obj) = parsed.get(key) else { continue };
+            // Duplicate keys keep the last write, so only check when
+            // this index is the final occurrence.
+            if keys.iter().rposition(|k| k == key) != Some(i) {
+                continue;
+            }
+            let s = &strings[i % strings.len()];
+            let n = nums[i % nums.len()];
+            prop_assert_eq!(obj.get("text").unwrap().as_str(), Some(s.as_str()));
+            prop_assert_eq!(obj.get("n").unwrap().as_u64(), Some(n));
+        }
+    }
+
+    /// parse → write → parse is a fixed point (canonicalization is
+    /// idempotent) for documents the writer itself produced.
+    #[test]
+    fn reserialization_is_stable(s in any::<String>(), n in any::<u64>()) {
+        let mut w = json::JsonWriter::new();
+        w.begin_obj(None);
+        w.str(Some("s"), &s);
+        w.u64(Some("n"), n);
+        w.begin_arr(Some("a"));
+        w.null(None);
+        w.bool(None, true);
+        w.end_arr();
+        w.end_obj();
+        let first = w.finish();
+        let v1 = json::parse(&first).expect("first parse");
+        let mut w2 = json::JsonWriter::new();
+        write_value(&mut w2, None, &v1);
+        let second = w2.finish();
+        let v2 = json::parse(&second).expect("second parse");
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// Every recorded value lands in exactly one bucket, and the bucket
+    /// chosen admits the value while the previous one does not.
+    #[test]
+    fn histogram_buckets_partition(values in prop::collection::vec(any::<u64>(), 1..50)) {
+        let bounds = [10u64, 1_000, 50_000, 1_000_000];
+        let h = Histogram::new(&bounds);
+        for &v in &values {
+            h.record(v);
+        }
+        let counts = h.counts();
+        prop_assert_eq!(counts.iter().sum::<u64>(), values.len() as u64);
+        for &v in &values {
+            let expected = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+            let solo = Histogram::new(&bounds);
+            solo.record(v);
+            prop_assert_eq!(solo.counts()[expected], 1, "value {v} bucket {expected}");
+        }
+    }
+
+    /// Telemetry reports render to valid JSON whatever the counter
+    /// names' values — including extreme u64s.
+    #[test]
+    fn reports_always_render_valid_json(deltas in prop::collection::vec(any::<u64>(), 1..10)) {
+        let (t, sink) = CollectingSink::telemetry();
+        {
+            let _run = t.span("run");
+            for (i, &d) in deltas.iter().enumerate() {
+                // Names must be 'static; cycle a fixed set.
+                const NAMES: [&str; 4] = ["a.count", "b.count", "c.count", "d.count"];
+                t.count(NAMES[i % NAMES.len()], d);
+                t.record("h", d);
+            }
+        }
+        let report = sink.report();
+        let text = report.to_json();
+        let v = json::parse(&text).expect("report parses");
+        let total: u64 = report.metrics.counters.values().fold(0, |acc, &x| acc.wrapping_add(x));
+        let parsed_total: u64 = match v.get("counters").unwrap() {
+            Value::Obj(map) => map.values().map(|c| c.as_u64().unwrap()).fold(0, u64::wrapping_add),
+            _ => panic!("counters must be an object"),
+        };
+        prop_assert_eq!(total, parsed_total);
+    }
+}

@@ -414,9 +414,9 @@ impl<'a> Runner<'a> {
             sym_release,
             sym_wait_object,
             sym_worker,
-            core_free: machine.cores.map(|c| {
-                (0..c).map(|_| std::cmp::Reverse(TimeNs::ZERO)).collect()
-            }),
+            core_free: machine
+                .cores
+                .map(|c| (0..c).map(|_| std::cmp::Reverse(TimeNs::ZERO)).collect()),
             next_worker_tid: (n + 1) as u32,
         }
     }
@@ -432,7 +432,14 @@ impl<'a> Runner<'a> {
 
     /// Emits running samples covering `[from, from + dur)` at the 1 ms
     /// sampling granularity, on `tid` with callstack `frames`.
-    fn emit_running(&mut self, tid: ThreadId, pid: ProcessId, from: TimeNs, dur: TimeNs, frames: &[Symbol]) {
+    fn emit_running(
+        &mut self,
+        tid: ThreadId,
+        pid: ProcessId,
+        from: TimeNs,
+        dur: TimeNs,
+        frames: &[Symbol],
+    ) {
         if dur == TimeNs::ZERO {
             return;
         }
@@ -447,7 +454,14 @@ impl<'a> Runner<'a> {
         }
     }
 
-    fn emit_wait(&mut self, tid: ThreadId, pid: ProcessId, t: TimeNs, frames: &[Symbol], extra: Symbol) {
+    fn emit_wait(
+        &mut self,
+        tid: ThreadId,
+        pid: ProcessId,
+        t: TimeNs,
+        frames: &[Symbol],
+        extra: Symbol,
+    ) {
         let mut full = frames.to_vec();
         full.push(extra);
         let stack = self.stacks.intern(&full);
@@ -632,7 +646,8 @@ impl<'a> Runner<'a> {
                     // Hardware service period.
                     let hw_stack = self.stacks.intern(&[self.sym_worker, service_sym]);
                     self.builder.set_process(worker_pid);
-                    self.builder.push_hardware(worker, start, req.service, hw_stack);
+                    self.builder
+                        .push_hardware(worker, start, req.service, hw_stack);
 
                     // Post-processing on the worker (e.g. decryption).
                     let post_start = start + req.service;
@@ -643,7 +658,13 @@ impl<'a> Runner<'a> {
                             let s = self.stacks.intern_frame(f);
                             frames_post.push(s);
                         }
-                        self.emit_running(worker, worker_pid, post_start, req.post_compute, &frames_post);
+                        self.emit_running(
+                            worker,
+                            worker_pid,
+                            post_start,
+                            req.post_compute,
+                            &frames_post,
+                        );
                         let fp = frames_post.clone();
                         self.emit_unwait(worker, worker_pid, tid, end, &fp, None);
                     } else {
@@ -715,7 +736,10 @@ mod tests {
         let t = m.add_thread(
             ProcessId(1),
             TimeNs::ZERO,
-            ProgramBuilder::new("app!Main").compute(ms(3)).build().unwrap(),
+            ProgramBuilder::new("app!Main")
+                .compute(ms(3))
+                .build()
+                .unwrap(),
         );
         let (out, _) = run_machine(m);
         let running: Vec<_> = out
@@ -879,7 +903,9 @@ mod tests {
             .iter()
             .filter(|e| {
                 e.kind == EventKind::Running
-                    && stacks.resolve_frames(e.stack).contains(&"se.sys!ReadDecrypt")
+                    && stacks
+                        .resolve_frames(e.stack)
+                        .contains(&"se.sys!ReadDecrypt")
             })
             .count();
         assert_eq!(decrypt_samples, 4);
@@ -984,18 +1010,21 @@ mod tests {
         let a = m.add_thread(
             ProcessId(1),
             TimeNs::ZERO,
-            ProgramBuilder::new("app!A").compute(ms(10)).build().unwrap(),
+            ProgramBuilder::new("app!A")
+                .compute(ms(10))
+                .build()
+                .unwrap(),
         );
         let b = m.add_thread(
             ProcessId(1),
             TimeNs::ZERO,
-            ProgramBuilder::new("app!B").compute(ms(10)).build().unwrap(),
+            ProgramBuilder::new("app!B")
+                .compute(ms(10))
+                .build()
+                .unwrap(),
         );
         let (out, _) = run_machine(m);
-        let ends: Vec<TimeNs> = [a, b]
-            .iter()
-            .map(|&t| out.span_of(t).unwrap().1)
-            .collect();
+        let ends: Vec<TimeNs> = [a, b].iter().map(|&t| out.span_of(t).unwrap().1).collect();
         // One finishes at 10, the other queued behind it until 20.
         assert_eq!(ends.iter().max(), Some(&ms(20)));
         assert_eq!(ends.iter().min(), Some(&ms(10)));
@@ -1020,11 +1049,16 @@ mod tests {
         m.set_cores(2);
         let mut tids = Vec::new();
         for _ in 0..2 {
-            tids.push(m.add_thread(
-                ProcessId(1),
-                TimeNs::ZERO,
-                ProgramBuilder::new("app!T").compute(ms(10)).build().unwrap(),
-            ));
+            tids.push(
+                m.add_thread(
+                    ProcessId(1),
+                    TimeNs::ZERO,
+                    ProgramBuilder::new("app!T")
+                        .compute(ms(10))
+                        .build()
+                        .unwrap(),
+                ),
+            );
         }
         let (out, _) = run_machine(m);
         for t in tids {
@@ -1056,7 +1090,11 @@ mod tests {
         // Both readers overlap: finish at 10 and 11, not serialized.
         assert_eq!(out.span_of(a).unwrap().1, ms(10));
         assert_eq!(out.span_of(b).unwrap().1, ms(11));
-        assert!(out.stream.events().iter().all(|e| e.kind != EventKind::Wait));
+        assert!(out
+            .stream
+            .events()
+            .iter()
+            .all(|e| e.kind != EventKind::Wait));
     }
 
     #[test]
@@ -1203,7 +1241,10 @@ mod tests {
         m.add_thread(
             ProcessId(1),
             TimeNs::ZERO,
-            ProgramBuilder::new("app!Worker").notify(done).build().unwrap(),
+            ProgramBuilder::new("app!Worker")
+                .notify(done)
+                .build()
+                .unwrap(),
         );
         let ui = m.add_thread(
             ProcessId(1),
@@ -1229,11 +1270,16 @@ mod tests {
         let done = m.add_cond();
         let mut waiters = Vec::new();
         for i in 0..3 {
-            waiters.push(m.add_thread(
-                ProcessId(1),
-                ms(i),
-                ProgramBuilder::new("app!W").await_cond(done).build().unwrap(),
-            ));
+            waiters.push(
+                m.add_thread(
+                    ProcessId(1),
+                    ms(i),
+                    ProgramBuilder::new("app!W")
+                        .await_cond(done)
+                        .build()
+                        .unwrap(),
+                ),
+            );
         }
         m.add_thread(
             ProcessId(1),
@@ -1264,13 +1310,13 @@ mod tests {
         m.add_thread(
             ProcessId(1),
             TimeNs::ZERO,
-            ProgramBuilder::new("app!W").await_cond(never).build().unwrap(),
+            ProgramBuilder::new("app!W")
+                .await_cond(never)
+                .build()
+                .unwrap(),
         );
         let mut stacks = StackTable::new();
-        assert!(matches!(
-            m.run(&mut stacks),
-            Err(SimError::Deadlock { .. })
-        ));
+        assert!(matches!(m.run(&mut stacks), Err(SimError::Deadlock { .. })));
     }
 
     #[test]

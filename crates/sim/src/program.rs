@@ -370,7 +370,11 @@ mod tests {
     #[test]
     fn validation_lock_errors() {
         let l = LockId(1);
-        let err = ProgramBuilder::bare().acquire(l).acquire(l).build().unwrap_err();
+        let err = ProgramBuilder::bare()
+            .acquire(l)
+            .acquire(l)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ProgramError::Reacquire { index: 1, lock: l });
 
         let err = ProgramBuilder::bare().release(l).build().unwrap_err();

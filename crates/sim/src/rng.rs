@@ -108,7 +108,9 @@ mod tests {
         let mut root = SimRng::seed_from(1);
         let mut a = root.fork();
         let mut b = root.fork();
-        let same = (0..32).filter(|_| a.int_in(0, u64::MAX) == b.int_in(0, u64::MAX)).count();
+        let same = (0..32)
+            .filter(|_| a.int_in(0, u64::MAX) == b.int_in(0, u64::MAX))
+            .count();
         assert!(same < 4, "forked streams should differ");
     }
 
@@ -152,7 +154,9 @@ mod tests {
     fn lognormal_median_roughly_right() {
         let mut r = SimRng::seed_from(13);
         let median = TimeNs::from_millis(5);
-        let mut xs: Vec<u64> = (0..10_001).map(|_| r.lognormal_time(median, 1.0).0).collect();
+        let mut xs: Vec<u64> = (0..10_001)
+            .map(|_| r.lognormal_time(median, 1.0).0)
+            .collect();
         xs.sort_unstable();
         let med = xs[xs.len() / 2] as f64;
         let expected = median.0 as f64;

@@ -141,7 +141,9 @@ mod tests {
             }
             let has_decrypt = out.stream.events().iter().any(|e| {
                 e.kind == EventKind::Running
-                    && stacks.resolve_frames(e.stack).contains(&sig::SE_READ_DECRYPT)
+                    && stacks
+                        .resolve_frames(e.stack)
+                        .contains(&sig::SE_READ_DECRYPT)
             });
             let (t0, t1) = out.span_of(tid).unwrap();
             assert!(has_decrypt, "hard fault must decrypt the page read");

@@ -72,7 +72,9 @@ pub fn build(m: &mut Machine, env: &Env, rng: &mut SimRng, start: TimeNs) -> Thr
         b = common::direct_disk_read(b, env, rng, 4, 0.6);
     }
     b = common::app_compute(b, rng, 25, 50);
-    let program = b.build().expect("BrowserFrameCreate program is well-formed");
+    let program = b
+        .build()
+        .expect("BrowserFrameCreate program is well-formed");
     m.add_thread(pid::BROWSER, start + rng.time_in(ms(4), ms(7)), program)
 }
 

@@ -98,7 +98,9 @@ mod tests {
                 .sum();
             // Cold instance: > 400ms with >200ms of hw time and no chain.
             let has_chain = out.stream.events().iter().any(|e| {
-                stacks.resolve_frames(e.stack).contains(&sig::SE_READ_DECRYPT)
+                stacks
+                    .resolve_frames(e.stack)
+                    .contains(&sig::SE_READ_DECRYPT)
             });
             if dur > thresholds().slow() && !has_chain {
                 assert!(hw > ms(150), "cold instance should be hw-dominated");

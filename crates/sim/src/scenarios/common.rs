@@ -273,7 +273,11 @@ pub fn app_critical_section(b: ProgramBuilder, env: &Env, rng: &mut SimRng) -> P
 pub fn ambient_noise(machine: &mut Machine, env: &Env, rng: &mut SimRng, at: TimeNs) {
     if rng.chance(0.45) {
         let (lock, root, frames): (_, &str, &[&str]) = match rng.index(4) {
-            0 => (env.file_table, "browser!Worker", &[sig::FV_QUERY_FILE_TABLE]),
+            0 => (
+                env.file_table,
+                "browser!Worker",
+                &[sig::FV_QUERY_FILE_TABLE],
+            ),
             1 => (env.mdu, "system!Worker", &[sig::FS_ACQUIRE_MDU]),
             2 => (env.net_queue, "netsvc!Worker", &[sig::NET_SEND]),
             _ => (env.cache, "system!Worker", &[sig::IOC_LOOKUP]),
@@ -408,7 +412,9 @@ mod tests {
         // The chain produced a decryption running sample.
         let has_decrypt = out.stream.events().iter().any(|e| {
             e.kind == EventKind::Running
-                && stacks.resolve_frames(e.stack).contains(&sig::SE_READ_DECRYPT)
+                && stacks
+                    .resolve_frames(e.stack)
+                    .contains(&sig::SE_READ_DECRYPT)
         });
         assert!(has_decrypt);
     }

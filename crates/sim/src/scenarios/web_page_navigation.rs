@@ -133,7 +133,10 @@ mod tests {
                 None => {}
             }
         }
-        assert!(fast > slow, "navigation should be mostly fast: fast={fast} slow={slow}");
+        assert!(
+            fast > slow,
+            "navigation should be mostly fast: fast={fast} slow={slow}"
+        );
         assert!(slow >= 3, "but some slow instances must exist: slow={slow}");
     }
 }

@@ -139,8 +139,8 @@ fn parse(text: &str) -> Result<Parsed, ScriptError> {
     let err = |line: usize, message: String| ScriptError { line, message };
 
     let finish_thread = |machine: &mut Machine,
-                             threads: &mut HashMap<String, ThreadId>,
-                             p: PendingThread|
+                         threads: &mut HashMap<String, ThreadId>,
+                         p: PendingThread|
      -> Result<(), ScriptError> {
         let mut b = p.builder;
         for _ in 0..p.depth {
@@ -239,9 +239,9 @@ fn parse(text: &str) -> Result<Parsed, ScriptError> {
                 let thread_name = kv
                     .get("thread")
                     .ok_or_else(|| err(lineno, "instance needs thread=NAME".into()))?;
-                let tid = *threads.get(*thread_name).ok_or_else(|| {
-                    err(lineno, format!("unknown thread {thread_name:?}"))
-                })?;
+                let tid = *threads
+                    .get(*thread_name)
+                    .ok_or_else(|| err(lineno, format!("unknown thread {thread_name:?}")))?;
                 let fast = parse_duration(
                     kv.get("fast")
                         .ok_or_else(|| err(lineno, "instance needs fast=DUR".into()))?,
@@ -282,28 +282,36 @@ fn parse(text: &str) -> Result<Parsed, ScriptError> {
                     }
                     "compute" => b.compute(parse_duration(arg1(&words, lineno)?, lineno)?),
                     "idle" => b.idle(parse_duration(arg1(&words, lineno)?, lineno)?),
-                    "acquire" => b.acquire(*locks.get(arg1(&words, lineno)?).ok_or_else(
-                        || err(lineno, format!("unknown lock {:?}", words[1])),
-                    )?),
-                    "acquire_shared" => b.acquire_shared(
-                        *locks.get(arg1(&words, lineno)?).ok_or_else(|| {
-                            err(lineno, format!("unknown lock {:?}", words[1]))
-                        })?,
+                    "acquire" => b.acquire(
+                        *locks
+                            .get(arg1(&words, lineno)?)
+                            .ok_or_else(|| err(lineno, format!("unknown lock {:?}", words[1])))?,
                     ),
-                    "release" => b.release(*locks.get(arg1(&words, lineno)?).ok_or_else(
-                        || err(lineno, format!("unknown lock {:?}", words[1])),
-                    )?),
-                    "await" => b.await_cond(*conds.get(arg1(&words, lineno)?).ok_or_else(
-                        || err(lineno, format!("unknown cond {:?}", words[1])),
-                    )?),
-                    "notify" => b.notify(*conds.get(arg1(&words, lineno)?).ok_or_else(
-                        || err(lineno, format!("unknown cond {:?}", words[1])),
-                    )?),
+                    "acquire_shared" => b.acquire_shared(
+                        *locks
+                            .get(arg1(&words, lineno)?)
+                            .ok_or_else(|| err(lineno, format!("unknown lock {:?}", words[1])))?,
+                    ),
+                    "release" => b.release(
+                        *locks
+                            .get(arg1(&words, lineno)?)
+                            .ok_or_else(|| err(lineno, format!("unknown lock {:?}", words[1])))?,
+                    ),
+                    "await" => b.await_cond(
+                        *conds
+                            .get(arg1(&words, lineno)?)
+                            .ok_or_else(|| err(lineno, format!("unknown cond {:?}", words[1])))?,
+                    ),
+                    "notify" => b.notify(
+                        *conds
+                            .get(arg1(&words, lineno)?)
+                            .ok_or_else(|| err(lineno, format!("unknown cond {:?}", words[1])))?,
+                    ),
                     "request" => {
                         // request DEVICE DURATION [post=FRAME:DURATION]
-                        let dev = *devices.get(arg1(&words, lineno)?).ok_or_else(|| {
-                            err(lineno, format!("unknown device {:?}", words[1]))
-                        })?;
+                        let dev = *devices
+                            .get(arg1(&words, lineno)?)
+                            .ok_or_else(|| err(lineno, format!("unknown device {:?}", words[1])))?;
                         let service = parse_duration(
                             words.get(2).ok_or_else(|| {
                                 err(lineno, "request needs a service duration".into())

@@ -10,6 +10,7 @@ use crate::env::Env;
 use crate::rng::SimRng;
 use crate::scenarios::{self, ScenarioSpec};
 use tracelens_model::{Dataset, Scenario, ScenarioInstance, ScenarioName, TimeNs};
+use tracelens_obs::{stage, Telemetry};
 
 /// Which scenarios a data set draws from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,8 +33,7 @@ impl ScenarioMix {
             ScenarioMix::Only(names) => names
                 .iter()
                 .map(|n| {
-                    scenarios::by_name(n)
-                        .unwrap_or_else(|| panic!("unknown scenario name {n:?}"))
+                    scenarios::by_name(n).unwrap_or_else(|| panic!("unknown scenario name {n:?}"))
                 })
                 .map(|mut s| {
                     s.weight = 1;
@@ -62,6 +62,7 @@ pub struct DatasetBuilder {
     instances_per_trace: (u64, u64),
     mix: ScenarioMix,
     start_window_ms: u64,
+    telemetry: Telemetry,
 }
 
 impl DatasetBuilder {
@@ -75,6 +76,7 @@ impl DatasetBuilder {
             instances_per_trace: (3, 6),
             mix: ScenarioMix::Full,
             start_window_ms: 100,
+            telemetry: Telemetry::noop(),
         }
     }
 
@@ -108,6 +110,13 @@ impl DatasetBuilder {
         self
     }
 
+    /// Attaches a telemetry handle; generation reports a `sim` stage
+    /// span plus trace/instance/event counters through it.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Generates the data set.
     ///
     /// # Panics
@@ -116,6 +125,7 @@ impl DatasetBuilder {
     /// an internal invariant violation (generators follow a global lock
     /// order), not an input condition.
     pub fn build(self) -> Dataset {
+        let _span = self.telemetry.span(stage::SIM);
         let specs = self.mix.specs();
         assert!(!specs.is_empty(), "scenario mix is empty");
         let total_weight: u64 = specs.iter().map(|s| s.weight as u64).sum();
@@ -123,10 +133,8 @@ impl DatasetBuilder {
         let mut ds = Dataset::new();
 
         for spec in &specs {
-            ds.scenarios.push(Scenario::new(
-                ScenarioName::new(spec.name),
-                spec.thresholds,
-            ));
+            ds.scenarios
+                .push(Scenario::new(ScenarioName::new(spec.name), spec.thresholds));
         }
 
         for trace_idx in 0..self.traces {
@@ -145,9 +153,7 @@ impl DatasetBuilder {
                 .run(&mut ds.stacks)
                 .expect("scenario generators must not deadlock");
             for (name, tid) in pending {
-                let (t0, t1) = out
-                    .span_of(tid)
-                    .expect("initiating thread was simulated");
+                let (t0, t1) = out.span_of(tid).expect("initiating thread was simulated");
                 ds.instances.push(ScenarioInstance {
                     trace: out.stream.id(),
                     scenario: ScenarioName::new(name),
@@ -157,6 +163,12 @@ impl DatasetBuilder {
                 });
             }
             ds.streams.push(out.stream);
+        }
+        if self.telemetry.enabled() {
+            self.telemetry.count("sim.traces", ds.streams.len() as u64);
+            self.telemetry
+                .count("sim.instances", ds.instances.len() as u64);
+            self.telemetry.count("sim.events", ds.total_events() as u64);
         }
         ds
     }
@@ -218,8 +230,7 @@ mod tests {
             .mix(ScenarioMix::Selected)
             .build();
         for i in &ds.instances {
-            assert!(tracelens_model::ScenarioName::SELECTED
-                .contains(&i.scenario.as_str()));
+            assert!(tracelens_model::ScenarioName::SELECTED.contains(&i.scenario.as_str()));
         }
         assert_eq!(ds.scenarios.len(), 8);
     }

@@ -33,13 +33,33 @@ impl WaitGraph {
         };
         let mut roots = Vec::new();
         let mut path = HashSet::new();
-        for id in index.thread_events_overlapping(stream, instance.tid, instance.t0, instance.t1)
-        {
+        for id in index.thread_events_overlapping(stream, instance.tid, instance.t0, instance.t1) {
             if let Some(n) = b.add_event(id, instance.t1, &mut path, 0) {
                 roots.push(n);
             }
         }
         WaitGraph::from_parts(stream.id(), b.nodes, roots)
+    }
+
+    /// [`WaitGraph::build`] with telemetry: reports graph/node counters
+    /// and a per-graph build-time histogram through `telemetry`. With a
+    /// disabled handle this is exactly `build` — no timing, no counting.
+    pub fn build_traced(
+        stream: &TraceStream,
+        index: &StreamIndex,
+        instance: &ScenarioInstance,
+        telemetry: &tracelens_obs::Telemetry,
+    ) -> WaitGraph {
+        if !telemetry.enabled() {
+            return WaitGraph::build(stream, index, instance);
+        }
+        let start = std::time::Instant::now();
+        let graph = WaitGraph::build(stream, index, instance);
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry.count("waitgraph.graphs", 1);
+        telemetry.count("waitgraph.nodes", graph.node_count() as u64);
+        telemetry.record("waitgraph.build_ns", elapsed);
+        graph
     }
 }
 
@@ -110,9 +130,9 @@ impl Builder<'_> {
                         });
                         path.insert(id);
                         let mut children = Vec::new();
-                        for cid in self
-                            .index
-                            .thread_events_overlapping(self.stream, u.tid, e.t, u.t)
+                        for cid in
+                            self.index
+                                .thread_events_overlapping(self.stream, u.tid, e.t, u.t)
                         {
                             if let Some(c) = self.add_event(cid, u.t, path, depth + 1) {
                                 children.push(c);
@@ -145,9 +165,7 @@ impl Builder<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tracelens_model::{
-        ScenarioName, StackTable, ThreadId, TraceId, TraceStreamBuilder,
-    };
+    use tracelens_model::{ScenarioName, StackTable, ThreadId, TraceId, TraceStreamBuilder};
 
     fn instance(tid: u32, t0: u64, t1: u64) -> ScenarioInstance {
         ScenarioInstance {
@@ -210,7 +228,7 @@ mod tests {
         assert_eq!(wg.roots().len(), 1);
         let root = wg.node(wg.roots()[0]);
         assert_eq!(root.duration, TimeNs(25)); // 10 → 35
-        // Children: T2's wait (recursing to T3) and T2's running event.
+                                               // Children: T2's wait (recursing to T3) and T2's running event.
         assert_eq!(root.children.len(), 2);
         let nested_wait = root
             .children
@@ -257,7 +275,10 @@ mod tests {
         for n in wg.nodes() {
             assert!(matches!(
                 n.kind,
-                NodeKind::Running | NodeKind::Wait { .. } | NodeKind::Hardware | NodeKind::UnpairedWait
+                NodeKind::Running
+                    | NodeKind::Wait { .. }
+                    | NodeKind::Hardware
+                    | NodeKind::UnpairedWait
             ));
             let e = s.event(n.event).unwrap();
             assert_ne!(e.kind, EventKind::Unwait);
@@ -282,10 +303,7 @@ mod tests {
         let wg = WaitGraph::build(&s, &idx, &instance(1, 0, 20));
         // Must terminate; the inner re-entry of T1's wait becomes a leaf.
         assert!(wg.node_count() >= 2);
-        assert!(wg
-            .nodes()
-            .iter()
-            .any(|n| n.kind == NodeKind::UnpairedWait));
+        assert!(wg.nodes().iter().any(|n| n.kind == NodeKind::UnpairedWait));
     }
 
     #[test]

@@ -8,7 +8,8 @@ impl WaitGraph {
     /// Renders the graph in Graphviz DOT syntax. Node labels show the
     /// event kind, the innermost callstack frame, and the duration.
     pub fn to_dot(&self, stacks: &StackTable) -> String {
-        let mut out = String::from("digraph waitgraph {\n  rankdir=TB;\n  node [shape=box,fontsize=10];\n");
+        let mut out =
+            String::from("digraph waitgraph {\n  rankdir=TB;\n  node [shape=box,fontsize=10];\n");
         for (_, id) in self.dfs() {
             let n = self.node(id);
             let frame = stacks

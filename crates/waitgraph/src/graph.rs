@@ -150,11 +150,7 @@ impl WaitGraph {
         let mut cur = root;
         loop {
             let node = self.node(cur);
-            let Some(&next) = node
-                .children
-                .iter()
-                .max_by_key(|&&c| self.node(c).duration)
-            else {
+            let Some(&next) = node.children.iter().max_by_key(|&&c| self.node(c).duration) else {
                 break;
             };
             path.push(next);
@@ -278,11 +274,7 @@ mod tests {
             wait(1, 20, 50, vec![]),
             leaf(2, 80, 100), // running roots are not chain starts
         ];
-        let g = WaitGraph::from_parts(
-            TraceId(0),
-            nodes,
-            vec![NodeId(0), NodeId(1), NodeId(2)],
-        );
+        let g = WaitGraph::from_parts(TraceId(0), nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(g.dominant_path(), vec![NodeId(1)]);
     }
 }

@@ -57,6 +57,22 @@ impl StreamIndex {
         index
     }
 
+    /// [`StreamIndex::new`] with telemetry: reports index counters and a
+    /// per-stream indexing-time histogram. With a disabled handle this
+    /// is exactly `new`.
+    pub fn new_traced(stream: &TraceStream, telemetry: &tracelens_obs::Telemetry) -> Self {
+        if !telemetry.enabled() {
+            return StreamIndex::new(stream);
+        }
+        let start = std::time::Instant::now();
+        let index = StreamIndex::new(stream);
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        telemetry.count("waitgraph.indices", 1);
+        telemetry.count("waitgraph.indexed_events", stream.len() as u64);
+        telemetry.record("waitgraph.index_ns", elapsed);
+        index
+    }
+
     /// The earliest unwait event waking `tid` at or after `from`.
     pub fn pair_unwait(
         &self,
@@ -65,9 +81,7 @@ impl StreamIndex {
         from: TimeNs,
     ) -> Option<EventId> {
         let list = self.unwaits_for.get(&tid)?;
-        let lo = list.partition_point(|&id| {
-            stream.event(id).map(|e| e.t < from).unwrap_or(false)
-        });
+        let lo = list.partition_point(|&id| stream.event(id).map(|e| e.t < from).unwrap_or(false));
         list.get(lo).copied()
     }
 
@@ -97,9 +111,8 @@ impl StreamIndex {
         let Some(list) = self.by_thread.get(&tid) else {
             return Vec::new();
         };
-        let mut lo = list.partition_point(|&id| {
-            stream.event(id).map(|e| e.t < from).unwrap_or(false)
-        });
+        let mut lo =
+            list.partition_point(|&id| stream.event(id).map(|e| e.t < from).unwrap_or(false));
         // Step back over events that start before `from` but spill into
         // the interval (e.g. a wait that is still pending at `from`).
         while lo > 0 && self.effective_end(list[lo - 1]) > from {
@@ -108,9 +121,7 @@ impl StreamIndex {
         list[lo..]
             .iter()
             .copied()
-            .take_while(|&id| {
-                stream.event(id).map(|e| e.t < to).unwrap_or(false)
-            })
+            .take_while(|&id| stream.event(id).map(|e| e.t < to).unwrap_or(false))
             .collect()
     }
 
@@ -168,10 +179,7 @@ mod tests {
         let idx = StreamIndex::new(&s);
         // Thread 2's running event [5, 15) spans from=10.
         let hits = idx.thread_events_overlapping(&s, ThreadId(2), TimeNs(10), TimeNs(15));
-        let times: Vec<u64> = hits
-            .iter()
-            .map(|&id| s.event(id).unwrap().t.0)
-            .collect();
+        let times: Vec<u64> = hits.iter().map(|&id| s.event(id).unwrap().t.0).collect();
         assert!(times.contains(&5), "spanning event included: {times:?}");
     }
 

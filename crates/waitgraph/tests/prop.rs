@@ -18,16 +18,14 @@ enum RawEvent {
 
 fn raw_event() -> impl Strategy<Value = RawEvent> {
     prop_oneof![
-        (0u8..4, 0u16..1000, 1u8..20)
-            .prop_map(|(tid, t, cost)| RawEvent::Running { tid, t, cost }),
+        (0u8..4, 0u16..1000, 1u8..20).prop_map(|(tid, t, cost)| RawEvent::Running { tid, t, cost }),
         (0u8..4, 0u16..1000).prop_map(|(tid, t)| RawEvent::Wait { tid, t }),
-        (0u8..4, 0u8..4, 0u16..1000).prop_map(|(tid, woken, t)| RawEvent::Unwait {
+        (0u8..4, 0u8..4, 0u16..1000).prop_map(|(tid, woken, t)| RawEvent::Unwait { tid, woken, t }),
+        (0u8..4, 0u16..1000, 1u8..20).prop_map(|(tid, t, cost)| RawEvent::Hardware {
             tid,
-            woken,
-            t
+            t,
+            cost
         }),
-        (0u8..4, 0u16..1000, 1u8..20)
-            .prop_map(|(tid, t, cost)| RawEvent::Hardware { tid, t, cost }),
     ]
 }
 
@@ -39,7 +37,12 @@ fn build_stream(events: &[RawEvent], stacks: &mut StackTable) -> tracelens_model
     for e in events {
         match *e {
             RawEvent::Running { tid, t, cost } => {
-                b.push_running(ThreadId(tid as u32), TimeNs(t as u64), TimeNs(cost as u64), s);
+                b.push_running(
+                    ThreadId(tid as u32),
+                    TimeNs(t as u64),
+                    TimeNs(cost as u64),
+                    s,
+                );
             }
             RawEvent::Wait { tid, t } => {
                 b.push_wait(ThreadId(tid as u32), TimeNs(t as u64), TimeNs::ZERO, s);
@@ -54,7 +57,12 @@ fn build_stream(events: &[RawEvent], stacks: &mut StackTable) -> tracelens_model
                 );
             }
             RawEvent::Hardware { tid, t, cost } => {
-                b.push_hardware(ThreadId(tid as u32), TimeNs(t as u64), TimeNs(cost as u64), s);
+                b.push_hardware(
+                    ThreadId(tid as u32),
+                    TimeNs(t as u64),
+                    TimeNs(cost as u64),
+                    s,
+                );
             }
         }
     }

@@ -20,12 +20,7 @@ fn ms(v: u64) -> TimeNs {
 /// Simulates one trace with a single `DbQuery` scenario instance.
 /// `snapshot_storm` injects the problem: the backup driver pins the
 /// cache lock behind a large snapshot while queries stack up behind it.
-fn simulate_trace(
-    trace_id: u32,
-    rng: &mut SimRng,
-    ds: &mut Dataset,
-    snapshot_storm: bool,
-) {
+fn simulate_trace(trace_id: u32, rng: &mut SimRng, ds: &mut Dataset, snapshot_storm: bool) {
     let mut machine = Machine::new(trace_id);
     let cache_lock = machine.add_lock();
     let disk = machine.add_device(DeviceSpec::new("disk", "DiskService!Transfer"));

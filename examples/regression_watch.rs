@@ -53,7 +53,10 @@ fn main() {
         } else {
             format!("{:.1}x slower", r.factor())
         };
-        println!("avg {} over {} occurrences — {growth}", r.candidate_avg, r.candidate_n);
+        println!(
+            "avg {} over {} occurrences — {growth}",
+            r.candidate_avg, r.candidate_n
+        );
         for line in r.render().lines() {
             println!("  {line}");
         }

@@ -1,0 +1,108 @@
+//! `any::<T>()` — canonical strategies for common types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "any::<{}>()", std::any::type_name::<T>())
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit()
+    }
+}
+
+impl Arbitrary for char {
+    /// Biased toward the characters that stress text handling: ASCII
+    /// (including controls, quotes and backslashes) most of the time,
+    /// the full scalar-value space the rest.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(4) {
+            0 => char::from(rng.below(0x20) as u8), // control chars
+            1 | 2 => char::from(0x20 + rng.below(0x5F) as u8), // printable ASCII
+            _ => loop {
+                if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                    break c;
+                }
+            },
+        }
+    }
+}
+
+impl Arbitrary for String {
+    /// Strings of 0–63 arbitrary chars (see `char`'s bias).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(64) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn bools_cover_both_values() {
+        let mut rng = TestRng::from_seed(1);
+        let s = any::<bool>();
+        let trues = (0..100).filter(|_| s.sample(&mut rng)).count();
+        assert!(trues > 20 && trues < 80);
+    }
+
+    #[test]
+    fn chars_are_valid_and_diverse() {
+        let mut rng = TestRng::from_seed(2);
+        let mut control = false;
+        let mut non_ascii = false;
+        for _ in 0..2000 {
+            let c = char::arbitrary(&mut rng);
+            control |= c.is_control();
+            non_ascii |= !c.is_ascii();
+        }
+        assert!(control && non_ascii);
+    }
+}

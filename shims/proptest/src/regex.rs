@@ -1,0 +1,331 @@
+//! Generator for the regex subset used by string strategies.
+//!
+//! Supported syntax:
+//!
+//! * literal characters, and `\c` escapes taken literally;
+//! * character classes `[abc0-9]` (literals and ranges; no negation);
+//! * groups `( ... )` with alternation `a|b|c`;
+//! * quantifiers `{n}`, `{m,n}`, `?`, `*` and `+` (the unbounded forms
+//!   repeat at most eight times).
+//!
+//! This covers every pattern in the workspace's test suites; anything
+//! outside the subset fails loudly at parse time rather than generating
+//! wrong data.
+
+use crate::test_runner::TestRng;
+
+/// A parsed pattern, ready for repeated sampling.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    root: Node,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One of the alternatives, uniformly.
+    Alt(Vec<Node>),
+    /// Each part in order.
+    Seq(Vec<Node>),
+    /// A repeated subtree with an inclusive count range.
+    Repeat(Box<Node>, u32, u32),
+    /// A single literal character.
+    Char(char),
+    /// One character drawn from class alternatives `(lo, hi)`.
+    Class(Vec<(char, char)>),
+}
+
+/// Maximum repetitions for the open-ended `*` / `+` quantifiers.
+const UNBOUNDED_MAX: u32 = 8;
+
+impl Pattern {
+    /// Parses `pattern`, rejecting syntax outside the supported subset.
+    pub fn parse(pattern: &str) -> Result<Pattern, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let root = p.alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing input at offset {}", p.pos));
+        }
+        Ok(Pattern { root })
+    }
+
+    /// Generates one matching string.
+    pub fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.root, rng, &mut out);
+        out
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(options) => {
+            let i = rng.below(options.len() as u64) as usize;
+            emit(&options[i], rng, out);
+        }
+        Node::Seq(parts) => {
+            for part in parts {
+                emit(part, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = lo + rng.below((hi - lo + 1) as u64) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Char(c) => out.push(*c),
+        Node::Class(ranges) => {
+            // Weight alternatives by their width for uniformity over chars.
+            let total: u64 = ranges.iter().map(|(lo, hi)| width(*lo, *hi)).sum();
+            let mut x = rng.below(total);
+            for (lo, hi) in ranges {
+                let w = width(*lo, *hi);
+                if x < w {
+                    let c = char::from_u32(*lo as u32 + x as u32)
+                        .expect("class ranges hold valid scalar values");
+                    out.push(c);
+                    return;
+                }
+                x -= w;
+            }
+            unreachable!("weights cover the draw");
+        }
+    }
+}
+
+fn width(lo: char, hi: char) -> u64 {
+    (hi as u64) - (lo as u64) + 1
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn alternation(&mut self) -> Result<Node, String> {
+        let mut options = vec![self.sequence()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            options.push(self.sequence()?);
+        }
+        if options.len() == 1 {
+            Ok(options.pop().expect("one option"))
+        } else {
+            Ok(Node::Alt(options))
+        }
+    }
+
+    fn sequence(&mut self) -> Result<Node, String> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom()?;
+            parts.push(self.quantified(atom)?);
+        }
+        Ok(Node::Seq(parts))
+    }
+
+    fn atom(&mut self) -> Result<Node, String> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err("unclosed group".into());
+                }
+                Ok(inner)
+            }
+            Some('[') => self.class(),
+            Some('\\') => self
+                .bump()
+                .map(Node::Char)
+                .ok_or_else(|| "dangling escape".into()),
+            Some(c @ ('{' | '}' | '?' | '*' | '+')) => Err(format!("unexpected quantifier {c:?}")),
+            Some(c) => Ok(Node::Char(c)),
+            None => Err("unexpected end of pattern".into()),
+        }
+    }
+
+    fn class(&mut self) -> Result<Node, String> {
+        let mut ranges = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err("unclosed character class".into()),
+                Some(']') => break,
+                Some('\\') => {
+                    let c = self.bump().ok_or("dangling escape in class")?;
+                    ranges.push((c, c));
+                }
+                Some(c) => {
+                    // `a-z` range, unless `-` is the final literal.
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        self.bump();
+                        let hi = self.bump().ok_or("unterminated class range")?;
+                        if (hi as u32) < (c as u32) {
+                            return Err(format!("inverted class range {c}-{hi}"));
+                        }
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+            }
+        }
+        if ranges.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok(Node::Class(ranges))
+    }
+
+    fn quantified(&mut self, atom: Node) -> Result<Node, String> {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, 1))
+            }
+            Some('*') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 0, UNBOUNDED_MAX))
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Node::Repeat(Box::new(atom), 1, UNBOUNDED_MAX))
+            }
+            Some('{') => {
+                self.bump();
+                let lo = self.number()?;
+                let hi = if self.peek() == Some(',') {
+                    self.bump();
+                    self.number()?
+                } else {
+                    lo
+                };
+                if self.bump() != Some('}') {
+                    return Err("unclosed {} quantifier".into());
+                }
+                if hi < lo {
+                    return Err(format!("inverted quantifier {{{lo},{hi}}}"));
+                }
+                Ok(Node::Repeat(Box::new(atom), lo, hi))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, String> {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            let Some(d) = c.to_digit(10) else { break };
+            self.bump();
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(d))
+                .ok_or("quantifier count overflows")?;
+            any = true;
+        }
+        if any {
+            Ok(n)
+        } else {
+            Err("expected a number in {} quantifier".into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let p = Pattern::parse(pattern).expect("pattern parses");
+        let mut rng = TestRng::from_seed(42);
+        (0..n).map(|_| p.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for s in samples("[a-c]{0,8}", 500) {
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        // Both length extremes appear.
+        let lens: Vec<usize> = samples("[a-c]{0,8}", 500).iter().map(String::len).collect();
+        assert!(lens.contains(&0) && lens.contains(&8));
+    }
+
+    #[test]
+    fn literals_escapes_and_optional_group() {
+        for s in samples("[a-z]{1,6}(\\.sys)?", 300) {
+            let stem = s.strip_suffix(".sys").unwrap_or(&s);
+            assert!(!stem.is_empty() && stem.len() <= 6, "{s:?}");
+            assert!(stem.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        let with_suffix = samples("[a-z]{1,6}(\\.sys)?", 300)
+            .iter()
+            .filter(|s| s.ends_with(".sys"))
+            .count();
+        assert!(with_suffix > 50, "optional suffix should appear often");
+    }
+
+    #[test]
+    fn top_level_alternation_in_group() {
+        let all = samples("([a-z]{1,4}\\.sys|app|kernel)!F", 400);
+        let mut seen_app = false;
+        let mut seen_kernel = false;
+        let mut seen_sys = false;
+        for s in &all {
+            assert!(s.ends_with("!F"), "{s:?}");
+            let head = &s[..s.len() - 2];
+            match head {
+                "app" => seen_app = true,
+                "kernel" => seen_kernel = true,
+                _ => {
+                    assert!(head.ends_with(".sys"), "{s:?}");
+                    seen_sys = true;
+                }
+            }
+        }
+        assert!(seen_app && seen_kernel && seen_sys);
+    }
+
+    #[test]
+    fn class_with_specials_and_newline() {
+        for s in samples("[a-z0-9 _!.\n=:#]{0,300}", 50) {
+            assert!(s.len() <= 300);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || " _!.\n=:#".contains(c),
+                    "{c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_inside_class_is_literal() {
+        let all = samples("[a-c*]{0,8}", 300);
+        assert!(all.iter().any(|s| s.contains('*')));
+    }
+
+    #[test]
+    fn bad_patterns_are_rejected() {
+        for bad in ["[abc", "(xy", "a{3,1}", "a{", "[]", "*lead"] {
+            assert!(Pattern::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

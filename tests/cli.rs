@@ -24,7 +24,15 @@ fn full_workflow_through_the_binary() {
 
     // simulate → .tlt
     let out = tracelens(&[
-        "simulate", "-o", path, "--traces", "40", "--seed", "7", "--mix", "BrowserTabCreate",
+        "simulate",
+        "-o",
+        path,
+        "--traces",
+        "40",
+        "--seed",
+        "7",
+        "--mix",
+        "BrowserTabCreate",
     ]);
     assert!(out.status.success(), "simulate failed: {out:?}");
 
@@ -48,14 +56,28 @@ fn full_workflow_through_the_binary() {
     assert!(text.contains("component wait by module:"), "{text}");
 
     // causality
-    let out = tracelens(&["causality", path, "--scenario", "BrowserTabCreate", "--top", "2"]);
+    let out = tracelens(&[
+        "causality",
+        path,
+        "--scenario",
+        "BrowserTabCreate",
+        "--top",
+        "2",
+    ]);
     assert!(out.status.success(), "causality failed: {out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("contrast patterns"), "{text}");
     assert!(text.contains("wait    :"), "{text}");
 
     // locate rank 1
-    let out = tracelens(&["locate", path, "--scenario", "BrowserTabCreate", "--rank", "1"]);
+    let out = tracelens(&[
+        "locate",
+        path,
+        "--scenario",
+        "BrowserTabCreate",
+        "--rank",
+        "1",
+    ]);
     assert!(out.status.success(), "locate failed: {out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("concrete incidents"), "{text}");

@@ -97,11 +97,8 @@ fn decryption_cost_rides_on_the_device_worker_not_the_app() {
     let Some(se) = se else {
         return; // no encrypted read in this sample — nothing to check
     };
-    let instance_tids: std::collections::HashSet<_> = ds
-        .instances
-        .iter()
-        .map(|i| (i.trace, i.tid))
-        .collect();
+    let instance_tids: std::collections::HashSet<_> =
+        ds.instances.iter().map(|i| (i.trace, i.tid)).collect();
     let mut worker_samples = 0usize;
     for stream in &ds.streams {
         for e in stream.events() {

@@ -35,13 +35,10 @@ fn raising_t_slow_shrinks_the_slow_class() {
     let after_split = split_classes(&ds, &name).unwrap();
     assert!(after_split.slow.len() <= before);
     // Fast class is unaffected by T_slow.
-    assert_eq!(
-        after_split.fast.len(),
-        {
-            ds.scenarios[0].thresholds = th;
-            split_classes(&ds, &name).unwrap().fast.len()
-        }
-    );
+    assert_eq!(after_split.fast.len(), {
+        ds.scenarios[0].thresholds = th;
+        split_classes(&ds, &name).unwrap().fast.len()
+    });
 }
 
 #[test]

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# Offline CI gate: formatting, lints on the telemetry crate, full
-# release build, and the complete test suite. No network access needed.
+# Offline CI gate: formatting, lints across the whole workspace, full
+# release build, and the complete test suite — including the robustness
+# proptests (tests/corruption.rs, tests/robustness.rs), which run as
+# part of the default test pass. No network access needed.
 set -eu
 
 cd "$(dirname "$0")"
@@ -8,8 +10,8 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy (tracelens-obs) =="
-cargo clippy -p tracelens-obs --all-targets -- -D warnings
+echo "== cargo clippy (workspace) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release =="
 cargo build --release

@@ -1,0 +1,128 @@
+//! R1 — Robustness sweep: graceful degradation under trace corruption.
+//!
+//! Injects every fault kind at rate ε into a clean selected-scenario
+//! workload, sanitizes, and reruns the full study, reporting how the
+//! headline numbers degrade as corruption grows:
+//!
+//! * coverage — fraction of input instances surviving quarantine,
+//! * IA_wait — the §5.1 wait-impact headline, vs. the clean baseline,
+//! * top-10 retention — fraction of the clean baseline's per-scenario
+//!   top-10 contrast patterns still recovered from the corrupt data.
+//!
+//! The ε = 0 row doubles as the no-op check: injection and sanitization
+//! must leave the data set byte-identical.
+
+use std::collections::BTreeSet;
+use tracelens::prelude::*;
+use tracelens_bench::{pct, row, rule, selected_names, BenchArgs};
+
+/// Fault rates swept, per fault kind.
+const RATES: [f64; 5] = [0.0, 0.001, 0.01, 0.05, 0.1];
+
+/// How many top patterns per scenario form the retention baseline.
+const TOP: usize = 10;
+
+fn dataset_bytes(ds: &Dataset) -> Vec<u8> {
+    let mut buf = Vec::new();
+    ds.write_text(&mut buf).expect("serialize");
+    buf
+}
+
+/// The per-scenario top-`TOP` contrast patterns, as comparable keys.
+fn top_patterns(study: &Study, stacks: &StackTable) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    for (name, s) in &study.scenarios {
+        let Ok(c) = &s.causality else { continue };
+        for p in c.top(TOP) {
+            keys.insert(format!("{name}\n{}", p.tuple.render(stacks)));
+        }
+    }
+    keys
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let traces = args.traces.min(200); // 5 full studies; keep the sweep snappy
+    let seed = args.seed;
+    let (telemetry, sink) = args.telemetry_handle();
+    eprintln!("generating {traces} clean traces (seed {seed})...");
+    let clean = tracelens_bench::selected_dataset_traced(traces, seed, &telemetry);
+    let clean_bytes = dataset_bytes(&clean);
+    let names = selected_names();
+    let config = StudyConfig::default();
+
+    eprintln!("running clean baseline study...");
+    let baseline = Study::run_traced(&clean, &config, &names, &telemetry);
+    let baseline_ia = baseline.impact.ia_wait();
+    let baseline_top = top_patterns(&baseline, &clean.stacks);
+    eprintln!(
+        "baseline: IA_wait {}, {} top-{TOP} patterns across {} scenarios",
+        pct(baseline_ia),
+        baseline_top.len(),
+        baseline.scenarios.len()
+    );
+
+    println!("== R1: robustness sweep — every fault kind at rate ε ==\n");
+    let widths = [7, 9, 9, 12, 9, 9, 9, 10];
+    row(
+        &[
+            "ε",
+            "injected",
+            "repaired",
+            "quarantined",
+            "coverage",
+            "IA_wait",
+            "ΔIA_wait",
+            "top-10 ret",
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    for eps in RATES {
+        let injector = FaultInjector::new(seed).with_all(eps);
+        let (corrupt, log) = injector.inject(&clean);
+        let (study, report) = Study::run_sanitized_traced(&corrupt, &config, &names, &telemetry);
+
+        if eps == 0.0 {
+            assert_eq!(log.total(), 0, "zero rate injects nothing");
+            assert!(report.is_clean(), "ε=0 sanitize is a no-op");
+            let (resan, _) = corrupt.sanitize();
+            assert_eq!(
+                dataset_bytes(&resan),
+                clean_bytes,
+                "ε=0 round-trip is byte-identical"
+            );
+        }
+
+        let ia = study.impact.ia_wait();
+        let retained = if baseline_top.is_empty() {
+            1.0
+        } else {
+            let now = top_patterns(&study, &corrupt.stacks);
+            baseline_top.intersection(&now).count() as f64 / baseline_top.len() as f64
+        };
+        row(
+            &[
+                &format!("{eps}"),
+                &log.total().to_string(),
+                &report.repaired().to_string(),
+                &format!(
+                    "{}t/{}i",
+                    report.quarantined_traces, report.quarantined_instances
+                ),
+                &pct(study.coverage.fraction()),
+                &pct(ia),
+                &format!("{:+.1}pp", (ia - baseline_ia) * 100.0),
+                &pct(retained),
+            ],
+            &widths,
+        );
+    }
+
+    println!();
+    println!("fault kinds injected (each at rate ε): drop_unwaits, truncate_streams,");
+    println!("duplicate_events, clock_skew, dangling_stacks, orphan_waits,");
+    println!("dangling_instance_refs — see tracelens-faults for the corruption model.");
+    args.write_telemetry(sink.as_deref());
+}

@@ -4,6 +4,7 @@
 //! tracelens simulate  -o FILE [--traces N] [--seed S] [--mix full|selected|SCENARIO]
 //! tracelens run       SCRIPT.tsim [-o FILE]
 //! tracelens info      FILE
+//! tracelens validate  FILE [--sanitize]
 //! tracelens impact    FILE [--components GLOB] [--scenario NAME]
 //! tracelens blame     FILE [--scenario NAME] [--components GLOB]
 //! tracelens causality FILE --scenario NAME [--top N] [--k K] [--no-reduce]
@@ -16,6 +17,11 @@
 //!
 //! `FILE` is a data set in the `.tlt` text format
 //! (see [`tracelens::model::textio`]); `-` means stdin/stdout.
+//!
+//! Every command reading `FILE` accepts `--sanitize` (repair/quarantine
+//! corrupt input before analysis, reporting coverage on stderr) and
+//! `--strict` (treat any validation violation as a hard error). The
+//! default keeps the historical behavior: warn and proceed.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -44,6 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => cmd_simulate(rest),
         "run" => cmd_run(rest),
         "info" => cmd_info(rest),
+        "validate" => cmd_validate(rest),
         "impact" => cmd_impact(rest),
         "blame" => cmd_blame(rest),
         "causality" => cmd_causality(rest),
@@ -68,6 +75,7 @@ fn print_usage() {
          \x20 tracelens simulate  -o FILE [--traces N] [--seed S] [--mix full|selected|SCENARIO]\n\
          \x20 tracelens run       SCRIPT.tsim [-o FILE]   (machine DSL; see sim::script)\n\
          \x20 tracelens info      FILE\n\
+         \x20 tracelens validate  FILE [--sanitize]   (list violations; nonzero exit if any)\n\
          \x20 tracelens impact    FILE [--components GLOB] [--scenario NAME]\n\
          \x20 tracelens blame     FILE [--scenario NAME] [--components GLOB]\n\
          \x20 tracelens causality FILE --scenario NAME [--top N] [--k K] [--no-reduce]\n\
@@ -77,7 +85,9 @@ fn print_usage() {
          \x20 tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]\n\
          \x20 tracelens baselines FILE [--top N]\n\
          \n\
-         FILE is a .tlt data set; `-` reads stdin / writes stdout."
+         FILE is a .tlt data set; `-` reads stdin / writes stdout.\n\
+         Commands reading FILE also accept --sanitize (repair/quarantine\n\
+         corrupt input, report coverage) and --strict (violations are fatal)."
     );
 }
 
@@ -135,17 +145,82 @@ impl Opts {
     }
 }
 
-fn load(path: &str) -> Result<Dataset, String> {
+fn read_dataset(path: &str) -> Result<Dataset, String> {
     let read: Box<dyn Read> = if path == "-" {
         Box::new(io::stdin())
     } else {
         Box::new(File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?)
     };
-    let ds = Dataset::read_text(BufReader::new(read)).map_err(|e| e.to_string())?;
+    Dataset::read_text(BufReader::new(read)).map_err(|e| e.to_string())
+}
+
+/// Loads `path` honoring the shared corruption-handling flags:
+///
+/// * `--strict`  — any validation violation is a hard error,
+/// * `--sanitize` — repair/quarantine corrupt input and proceed on the
+///   clean survivor, summarizing repairs and coverage on stderr,
+/// * neither — warn on stderr and proceed on the raw data (historical
+///   behavior; analyses tolerate semantic corruption but may undercount).
+fn load(path: &str, opts: &Opts) -> Result<Dataset, String> {
+    if opts.has("strict") && opts.has("sanitize") {
+        return Err("--strict and --sanitize are mutually exclusive".to_owned());
+    }
+    let ds = read_dataset(path)?;
+    if opts.has("sanitize") {
+        let (clean, report) = ds.sanitize();
+        if report.is_clean() {
+            eprintln!("sanitize: input is clean");
+        } else {
+            eprintln!(
+                "sanitize: {} repairs, {} traces / {} instances quarantined \
+                 (instance coverage {:.1}%)",
+                report.repaired(),
+                report.quarantined_traces,
+                report.quarantined_instances,
+                report.instance_coverage() * 100.0
+            );
+        }
+        return Ok(clean);
+    }
     if let Err(e) = ds.validate() {
+        if opts.has("strict") {
+            return Err(format!("{path}: {e} (rerun with --sanitize to repair)"));
+        }
         eprintln!("warning: {e}");
     }
     Ok(ds)
+}
+
+/// Prints every validation violation with per-kind counts and exits
+/// nonzero if any are found. With `--sanitize`, additionally shows what
+/// sanitization would repair and quarantine.
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let path = opts.positional.first().ok_or("validate requires FILE")?;
+    let ds = read_dataset(path)?;
+    let verdict = ds.validate();
+    if opts.has("sanitize") {
+        let (_, report) = ds.sanitize();
+        print!("{report}");
+        println!();
+    }
+    match verdict {
+        Ok(()) => {
+            println!("{path}: OK — no violations");
+            Ok(())
+        }
+        Err(e) => {
+            println!("{path}: {} violations", e.violations.len());
+            for (kind, n) in e.counts_by_kind() {
+                println!("  {kind:<24} {n}");
+            }
+            println!();
+            for v in &e.violations {
+                println!("  {v}");
+            }
+            Err(format!("{path} failed validation"))
+        }
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
@@ -213,7 +288,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &[])?;
     let path = opts.positional.first().ok_or("info requires FILE")?;
-    let ds = load(path)?;
+    let ds = load(path, &opts)?;
     println!("traces      : {}", ds.streams.len());
     println!("instances   : {}", ds.instances.len());
     println!("events      : {}", ds.total_events());
@@ -228,7 +303,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn cmd_impact(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &["components", "scenario"])?;
     let path = opts.positional.first().ok_or("impact requires FILE")?;
-    let ds = load(path)?;
+    let ds = load(path, &opts)?;
     let filter = ComponentFilter::glob(opts.value("components").unwrap_or("*.sys"));
     let analyzer = ImpactAnalyzer::new(filter.clone());
     let report = match opts.value("scenario") {
@@ -247,7 +322,7 @@ fn cmd_impact(args: &[String]) -> Result<(), String> {
 fn cmd_blame(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &["components", "scenario"])?;
     let path = opts.positional.first().ok_or("blame requires FILE")?;
-    let ds = load(path)?;
+    let ds = load(path, &opts)?;
     let filter = ComponentFilter::glob(opts.value("components").unwrap_or("*.sys"));
     let scenario = opts.value("scenario").map(ScenarioName::new);
     let b = tracelens::impact::breakdown(&ds, &filter, |i| {
@@ -294,7 +369,7 @@ fn cmd_causality(args: &[String]) -> Result<(), String> {
     if k == 0 {
         return Err("--k must be at least 1".to_owned());
     }
-    let ds = load(path)?;
+    let ds = load(path, &opts)?;
     let config = CausalityConfig {
         components: ComponentFilter::glob(opts.value("components").unwrap_or("*.sys")),
         segment_bound: k,
@@ -347,7 +422,7 @@ fn cmd_causality(args: &[String]) -> Result<(), String> {
 fn cmd_scenarios(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &[])?;
     let path = opts.positional.first().ok_or("scenarios requires FILE")?;
-    let ds = load(path)?;
+    let ds = load(path, &opts)?;
     println!(
         "{:<26}{:>10}{:>8}{:>8}{:>8}  thresholds",
         "scenario", "instances", "fast", "slow", "margin"
@@ -384,7 +459,7 @@ fn cmd_locate(args: &[String]) -> Result<(), String> {
     if rank == 0 {
         return Err("--rank is 1-based".to_owned());
     }
-    let ds = load(path)?;
+    let ds = load(path, &opts)?;
     let report = CausalityAnalysis::default()
         .analyze(&ds, &scenario)
         .map_err(|e| e.to_string())?;
@@ -435,7 +510,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &["top"])?;
     let path = opts.positional.first().ok_or("report requires FILE")?;
     let top: usize = opts.parsed("top", 3)?;
-    let ds = load(path)?;
+    let ds = load(path, &opts)?;
     let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name.clone()).collect();
     let study = Study::run(&ds, &StudyConfig::default(), &names);
     let md = tracelens::render_markdown(
@@ -468,8 +543,8 @@ fn cmd_regress(args: &[String]) -> Result<(), String> {
             .ok_or("regress requires --scenario NAME")?,
     );
     let top: usize = opts.parsed("top", 10)?;
-    let baseline = load(base_path)?;
-    let candidate = load(cand_path)?;
+    let baseline = load(base_path, &opts)?;
+    let candidate = load(cand_path, &opts)?;
     let regs = tracelens::causality::find_regressions(
         &baseline,
         &candidate,
@@ -508,7 +583,7 @@ fn cmd_baselines(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &["top"])?;
     let path = opts.positional.first().ok_or("baselines requires FILE")?;
     let top: usize = opts.parsed("top", 10)?;
-    let ds = load(path)?;
+    let ds = load(path, &opts)?;
     println!("--- call-graph profile (top {top} by exclusive CPU) ---");
     println!("{}", CallGraphProfile::build(&ds).render(&ds, top));
     println!("--- lock contention (top {top} sites by blocked time) ---");

@@ -41,10 +41,11 @@ pub mod report;
 mod study;
 
 pub use report::{render_markdown, ReportOptions};
-pub use study::{ScenarioStudy, Study, StudyConfig};
+pub use study::{Coverage, ScenarioStudy, Study, StudyConfig};
 
 pub use tracelens_baselines as baselines;
 pub use tracelens_causality as causality;
+pub use tracelens_faults as faults;
 pub use tracelens_impact as impact;
 pub use tracelens_model as model;
 pub use tracelens_obs as obs;
@@ -58,15 +59,16 @@ pub mod prelude {
         locate_pattern, CausalityAnalysis, CausalityConfig, CausalityError, CausalityReport,
         ContrastPattern, PatternSite, SignatureSetTuple, Triage,
     };
+    pub use tracelens_faults::{FaultInjector, FaultKind, FaultLog, ALL_FAULT_KINDS};
     pub use tracelens_impact::{ImpactAnalyzer, ImpactReport};
     pub use tracelens_model::{
-        ComponentFilter, Dataset, DatasetSummary, DriverType, DurationStats, Scenario,
-        ScenarioInstance, ScenarioName, StackTable, Thresholds, TimeNs, TraceStream,
+        ComponentFilter, Dataset, DatasetSummary, DriverType, DurationStats, SanitizeReport,
+        Scenario, ScenarioInstance, ScenarioName, StackTable, Thresholds, TimeNs, TraceStream,
         TraceStreamBuilder,
     };
     pub use tracelens_obs::{stage, CollectingSink, RunReport, Telemetry};
     pub use tracelens_sim::{DatasetBuilder, Machine, ProgramBuilder, ScenarioMix};
     pub use tracelens_waitgraph::{StreamIndex, WaitGraph};
 
-    pub use crate::{ScenarioStudy, Study, StudyConfig};
+    pub use crate::{Coverage, ScenarioStudy, Study, StudyConfig};
 }

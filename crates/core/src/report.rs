@@ -40,6 +40,23 @@ pub fn render_markdown(study: &Study, dataset: &Dataset, opts: &ReportOptions) -
         dataset.total_events()
     );
 
+    let cov = &study.coverage;
+    if !cov.is_full() {
+        let _ = writeln!(out, "## Coverage\n");
+        let _ = writeln!(
+            out,
+            "This study ran on **sanitized** input: {} of {} instances \
+             ({}) and {} of {} traces survived quarantine; {} repairs were \
+             applied. All numbers below describe the surviving data only.\n",
+            cov.analyzed_instances,
+            cov.total_instances,
+            pct(cov.fraction()),
+            cov.analyzed_traces,
+            cov.total_traces,
+            cov.repaired
+        );
+    }
+
     let _ = writeln!(out, "## Impact analysis (all instances)\n");
     let _ = writeln!(out, "| metric | value |");
     let _ = writeln!(out, "|---|---|");
@@ -174,6 +191,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn coverage_section_appears_only_for_partial_studies() {
+        use tracelens_model::{ScenarioInstance, ThreadId, TimeNs, TraceId};
+        let mut ds = DatasetBuilder::new(9).traces(10).build();
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name.clone()).collect();
+        let full = Study::run(&ds, &StudyConfig::default(), &names);
+        let md = render_markdown(&full, &ds, &ReportOptions::default());
+        assert!(!md.contains("## Coverage"));
+
+        ds.instances.push(ScenarioInstance {
+            trace: TraceId(ds.streams.len() as u32 + 3),
+            scenario: ds.scenarios[0].name.clone(),
+            tid: ThreadId(1),
+            t0: TimeNs(0),
+            t1: TimeNs(1),
+        });
+        let (partial, _) = Study::run_sanitized(&ds, &StudyConfig::default(), &names);
+        let md = render_markdown(&partial, &ds, &ReportOptions::default());
+        assert!(md.contains("## Coverage"));
+        assert!(md.contains("survived quarantine"));
     }
 
     #[test]

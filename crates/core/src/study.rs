@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use tracelens_causality::{CausalityAnalysis, CausalityConfig, CausalityError, CausalityReport};
 use tracelens_impact::{ImpactAnalyzer, ImpactReport};
-use tracelens_model::{ComponentFilter, Dataset, ScenarioName};
+use tracelens_model::{ComponentFilter, Dataset, SanitizeReport, ScenarioName};
 use tracelens_obs::{stage, Telemetry};
 
 /// Configuration of a [`Study`].
@@ -37,6 +37,76 @@ pub struct ScenarioStudy {
     pub causality: Result<CausalityReport, CausalityError>,
 }
 
+/// How much of the input data set the study's numbers actually cover.
+///
+/// A study over pristine input covers everything. A study over
+/// sanitized input ([`Study::run_sanitized`]) covers only what survived
+/// quarantine, and every reported metric must be read against these
+/// fractions — 80% coverage means the impact and causality numbers
+/// describe 80% of the recorded instances, not the machine population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    /// Trace streams in the input data set.
+    pub total_traces: usize,
+    /// Trace streams the analyses actually saw.
+    pub analyzed_traces: usize,
+    /// Scenario instances in the input data set.
+    pub total_instances: usize,
+    /// Scenario instances the analyses actually saw.
+    pub analyzed_instances: usize,
+    /// Trace streams quarantined by sanitization.
+    pub quarantined_traces: usize,
+    /// Scenario instances quarantined by sanitization (directly — not
+    /// counting instances lost with a quarantined trace).
+    pub quarantined_instances: usize,
+    /// Individual repairs sanitization applied to surviving data.
+    pub repaired: usize,
+}
+
+impl Coverage {
+    /// Full coverage over `dataset`: nothing quarantined, nothing
+    /// repaired. What [`Study::run`] reports.
+    pub fn full(dataset: &Dataset) -> Coverage {
+        Coverage {
+            total_traces: dataset.streams.len(),
+            analyzed_traces: dataset.streams.len(),
+            total_instances: dataset.instances.len(),
+            analyzed_instances: dataset.instances.len(),
+            quarantined_traces: 0,
+            quarantined_instances: 0,
+            repaired: 0,
+        }
+    }
+
+    /// Coverage implied by a [`SanitizeReport`].
+    pub fn from_sanitize(report: &SanitizeReport) -> Coverage {
+        Coverage {
+            total_traces: report.input_traces,
+            analyzed_traces: report.input_traces - report.quarantined_traces,
+            total_instances: report.input_instances,
+            analyzed_instances: report.input_instances - report.quarantined_instances,
+            quarantined_traces: report.quarantined_traces,
+            quarantined_instances: report.quarantined_instances,
+            repaired: report.repaired(),
+        }
+    }
+
+    /// Fraction of input instances the study covers, in `[0, 1]`
+    /// (`1.0` for an empty input).
+    pub fn fraction(&self) -> f64 {
+        if self.total_instances == 0 {
+            1.0
+        } else {
+            self.analyzed_instances as f64 / self.total_instances as f64
+        }
+    }
+
+    /// `true` when every input trace and instance was analyzed.
+    pub fn is_full(&self) -> bool {
+        self.analyzed_traces == self.total_traces && self.analyzed_instances == self.total_instances
+    }
+}
+
 /// The paper's end-to-end evaluation over a data set: global impact
 /// analysis (§5.1) plus per-scenario causality analysis (§5.2).
 #[derive(Debug, Clone)]
@@ -45,6 +115,9 @@ pub struct Study {
     pub impact: ImpactReport,
     /// Per-scenario results, keyed by scenario name.
     pub scenarios: BTreeMap<ScenarioName, ScenarioStudy>,
+    /// How much of the input these results cover (full unless the study
+    /// ran through [`Study::run_sanitized`] on corrupt input).
+    pub coverage: Coverage,
 }
 
 impl Study {
@@ -93,13 +166,61 @@ impl Study {
                 },
             );
         }
-        Study { impact, scenarios }
+        Study {
+            impact,
+            scenarios,
+            coverage: Coverage::full(dataset),
+        }
     }
 
     /// Runs the study over all scenarios present in the data set.
     pub fn run_all(dataset: &Dataset, config: &StudyConfig) -> Study {
         let names: Vec<ScenarioName> = dataset.scenarios.iter().map(|s| s.name.clone()).collect();
         Study::run(dataset, config, &names)
+    }
+
+    /// [`Study::run`] with corruption tolerance: sanitizes `dataset`
+    /// first (repairing what is repairable, quarantining what is not),
+    /// runs the study over the clean survivor, and reports what fraction
+    /// of the input the results cover via [`Study::coverage`].
+    ///
+    /// On pristine input this is `run` plus a no-op sanitize pass.
+    pub fn run_sanitized(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+    ) -> (Study, SanitizeReport) {
+        Study::run_sanitized_traced(dataset, config, names, &Telemetry::noop())
+    }
+
+    /// [`Study::run_sanitized`] with telemetry: the sanitize pass is
+    /// wrapped in a `sanitize` span and reports `sanitize.repaired`,
+    /// `sanitize.quarantined_traces` and `sanitize.quarantined_instances`
+    /// counters before the usual study stages run.
+    pub fn run_sanitized_traced(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+        telemetry: &Telemetry,
+    ) -> (Study, SanitizeReport) {
+        let (clean, report) = {
+            let _span = telemetry.span(stage::SANITIZE);
+            dataset.sanitize()
+        };
+        if telemetry.enabled() {
+            telemetry.count("sanitize.repaired", report.repaired() as u64);
+            telemetry.count(
+                "sanitize.quarantined_traces",
+                report.quarantined_traces as u64,
+            );
+            telemetry.count(
+                "sanitize.quarantined_instances",
+                report.quarantined_instances as u64,
+            );
+        }
+        let mut study = Study::run_traced(&clean, config, names, telemetry);
+        study.coverage = Coverage::from_sanitize(&report);
+        (study, report)
     }
 }
 
@@ -142,5 +263,44 @@ mod tests {
         let ds = DatasetBuilder::new(6).traces(15).build();
         let study = Study::run_all(&ds, &StudyConfig::default());
         assert_eq!(study.scenarios.len(), ds.scenarios.len());
+        assert!(study.coverage.is_full());
+        assert_eq!(study.coverage.fraction(), 1.0);
+    }
+
+    #[test]
+    fn run_sanitized_on_clean_input_has_full_coverage() {
+        let ds = DatasetBuilder::new(7).traces(20).build();
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name.clone()).collect();
+        let (study, report) = Study::run_sanitized(&ds, &StudyConfig::default(), &names);
+        assert!(report.is_clean());
+        assert!(study.coverage.is_full());
+        let plain = Study::run(&ds, &StudyConfig::default(), &names);
+        assert_eq!(study.impact.instances, plain.impact.instances);
+        assert_eq!(study.impact.d_scn, plain.impact.d_scn);
+    }
+
+    #[test]
+    fn run_sanitized_quarantines_and_reports_partial_coverage() {
+        use tracelens_model::{ScenarioInstance, ThreadId, TimeNs, TraceId};
+        let mut ds = DatasetBuilder::new(8).traces(10).build();
+        let dangling = TraceId(ds.streams.len() as u32 + 5);
+        let scenario = ds.scenarios[0].name.clone();
+        ds.instances.push(ScenarioInstance {
+            trace: dangling,
+            scenario,
+            tid: ThreadId(1),
+            t0: TimeNs(0),
+            t1: TimeNs(1),
+        });
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name.clone()).collect();
+        let (study, report) = Study::run_sanitized(&ds, &StudyConfig::default(), &names);
+        assert_eq!(report.quarantined_instances, 1);
+        assert!(!study.coverage.is_full());
+        assert!(study.coverage.fraction() < 1.0);
+        assert_eq!(
+            study.coverage.analyzed_instances,
+            ds.instances.len() - 1,
+            "exactly the dangling instance is excluded"
+        );
     }
 }

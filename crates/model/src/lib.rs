@@ -41,6 +41,7 @@ mod dataset;
 mod event;
 mod ids;
 mod intern;
+mod sanitize;
 mod scenario;
 pub mod segment;
 mod signature;
@@ -56,6 +57,7 @@ pub use dataset::Dataset;
 pub use event::{Event, EventKind};
 pub use ids::{EventId, ProcessId, ThreadId, TraceId};
 pub use intern::{InternError, Interner, Symbol};
+pub use sanitize::{SanitizeReport, DUPLICATE_TRACE_ID};
 pub use scenario::{Scenario, ScenarioInstance, ScenarioName, Thresholds};
 pub use signature::{ParseSignatureError, Signature};
 pub use stack::{StackId, StackTable};

@@ -97,6 +97,18 @@ impl TraceStream {
         }
     }
 
+    /// Assembles a stream from raw parts **without any validation or
+    /// sorting**. This is the ingestion escape hatch used by the
+    /// sanitizer and by fault injection (`tracelens-faults`): it can
+    /// represent corrupted streams — unsorted timestamps, malformed
+    /// unwait targeting — that [`TraceStreamBuilder::finish`] would
+    /// reject. Analyses receiving such a stream are only guaranteed to
+    /// behave if it has passed [`crate::Dataset::sanitize`] or
+    /// [`crate::Dataset::validate`] first.
+    pub fn from_unchecked_parts(id: TraceId, events: Vec<Event>) -> TraceStream {
+        TraceStream { id, events }
+    }
+
     /// Finds the earliest unwait event at or after `from` whose `wtid`
     /// equals `woken` — the pairing rule used by Wait-Graph construction.
     pub fn find_unwait_for(&self, woken: ThreadId, from: TimeNs) -> Option<(EventId, &Event)> {

@@ -62,6 +62,23 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// Short snake-case label of the violation kind, used for per-kind
+    /// counting in [`ValidationError::counts_by_kind`] and in
+    /// [`crate::SanitizeReport`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::StreamIdMismatch { .. } => "stream_id_mismatch",
+            Violation::InstanceWithoutStream { .. } => "instance_without_stream",
+            Violation::InstanceNegativeSpan { .. } => "instance_negative_span",
+            Violation::InstanceUnknownScenario { .. } => "instance_unknown_scenario",
+            Violation::UnknownStack { .. } => "unknown_stack",
+            Violation::UnsortedEvents { .. } => "unsorted_events",
+            Violation::MalformedUnwait { .. } => "malformed_unwait",
+        }
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -112,6 +129,18 @@ impl fmt::Display for ValidationError {
 }
 
 impl Error for ValidationError {}
+
+impl ValidationError {
+    /// Violation totals grouped by [`Violation::kind`], sorted by kind
+    /// label — the summary the CLI `validate` command prints.
+    pub fn counts_by_kind(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for v in &self.violations {
+            *counts.entry(v.kind()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
 
 impl Dataset {
     /// Checks all structural invariants, returning every violation.

@@ -74,6 +74,9 @@ pub mod stage {
     pub const CONTRAST: &str = "contrast";
     /// A whole `Study` scenario run (parent of the above).
     pub const STUDY: &str = "study";
+    /// Data-set sanitization (repair + quarantine) before analysis.
+    /// Not part of [`PIPELINE`]: it only runs on corrupt input paths.
+    pub const SANITIZE: &str = "sanitize";
 
     /// The pipeline stages every full analysis run reports, in order.
     pub const PIPELINE: &[&str] = &[
@@ -90,6 +93,7 @@ mod tests {
         let mut names: Vec<&str> = stage::PIPELINE.to_vec();
         names.push(stage::REDUCE);
         names.push(stage::STUDY);
+        names.push(stage::SANITIZE);
         let n = names.len();
         names.sort_unstable();
         names.dedup();

@@ -3,7 +3,7 @@
 //! A stream is shared by every scenario instance recorded in it, so the
 //! index is built once per stream and reused across instance graphs.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use tracelens_model::{EventId, EventKind, ThreadId, TimeNs, TraceStream};
 
 /// Precomputed lookup structures over one [`TraceStream`]:
@@ -21,6 +21,11 @@ pub struct StreamIndex {
     unwaits_for: HashMap<ThreadId, Vec<EventId>>,
     /// event id → effective end timestamp.
     effective_end: Vec<TimeNs>,
+    /// Wait events with no pairable unwait (truncated or lossy traces).
+    orphan_waits: usize,
+    /// Unwait events never selected as any wait's pair (their wait was
+    /// dropped, or they predate every wait of the woken thread).
+    stray_unwaits: usize,
 }
 
 impl StreamIndex {
@@ -41,12 +46,25 @@ impl StreamIndex {
             by_thread,
             unwaits_for,
             effective_end: Vec::with_capacity(stream.len()),
+            orphan_waits: 0,
+            stray_unwaits: 0,
         };
+        let mut paired: HashSet<EventId> = HashSet::new();
+        let mut total_unwaits = 0usize;
         for (i, e) in stream.events().iter().enumerate() {
+            if e.kind == EventKind::Unwait {
+                total_unwaits += 1;
+            }
             let end = if e.kind == EventKind::Wait {
                 match index.pair_unwait(stream, e.tid, e.t) {
-                    Some(u) => stream.event(u).map(|u| u.t).unwrap_or(e.end()),
-                    None => e.end(),
+                    Some(u) => {
+                        paired.insert(u);
+                        stream.event(u).map(|u| u.t).unwrap_or(e.end())
+                    }
+                    None => {
+                        index.orphan_waits += 1;
+                        e.end()
+                    }
                 }
             } else {
                 e.end()
@@ -54,7 +72,23 @@ impl StreamIndex {
             debug_assert_eq!(index.effective_end.len(), i);
             index.effective_end.push(end);
         }
+        index.stray_unwaits = total_unwaits - paired.len();
         index
+    }
+
+    /// Wait events of this stream whose unwait is missing — the lossy
+    /// reality Wait-Graph construction turns into
+    /// [`crate::NodeKind::UnpairedWait`] leaves. Zero on pristine
+    /// simulator output.
+    pub fn orphan_waits(&self) -> usize {
+        self.orphan_waits
+    }
+
+    /// Unwait events never selected as any wait's pair. They are
+    /// counted here and otherwise ignored by graph construction (an
+    /// unwait never becomes a node). Zero on pristine simulator output.
+    pub fn stray_unwaits(&self) -> usize {
+        self.stray_unwaits
     }
 
     /// [`StreamIndex::new`] with telemetry: reports index counters and a
@@ -70,6 +104,12 @@ impl StreamIndex {
         telemetry.count("waitgraph.indices", 1);
         telemetry.count("waitgraph.indexed_events", stream.len() as u64);
         telemetry.record("waitgraph.index_ns", elapsed);
+        if index.orphan_waits > 0 {
+            telemetry.count("waitgraph.orphan_waits", index.orphan_waits as u64);
+        }
+        if index.stray_unwaits > 0 {
+            telemetry.count("waitgraph.stray_unwaits", index.stray_unwaits as u64);
+        }
         index
     }
 
@@ -205,6 +245,35 @@ mod tests {
         assert!(hits.is_empty());
         let none = idx.thread_events_overlapping(&s, ThreadId(7), TimeNs(0), TimeNs(50));
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn orphan_and_stray_counters() {
+        // Fixture: one wait paired with the unwait at t=15; the second
+        // unwait at t=25 wakes nobody → stray.
+        let s = stream();
+        let idx = StreamIndex::new(&s);
+        assert_eq!(idx.orphan_waits(), 0);
+        assert_eq!(idx.stray_unwaits(), 1);
+
+        // A wait with no unwait anywhere is an orphan.
+        let mut b = TraceStreamBuilder::new(0);
+        b.push_wait(ThreadId(1), TimeNs(10), TimeNs::ZERO, StackId(0));
+        b.push_running(ThreadId(2), TimeNs(0), TimeNs(5), StackId(0));
+        let lossy = b.finish().unwrap();
+        let idx = StreamIndex::new(&lossy);
+        assert_eq!(idx.orphan_waits(), 1);
+        assert_eq!(idx.stray_unwaits(), 0);
+
+        // An unwait strictly before every wait of the woken thread is
+        // stray, and leaves the wait orphaned.
+        let mut b = TraceStreamBuilder::new(0);
+        b.push_unwait(ThreadId(2), ThreadId(1), TimeNs(5), StackId(0));
+        b.push_wait(ThreadId(1), TimeNs(10), TimeNs::ZERO, StackId(0));
+        let skewed = b.finish().unwrap();
+        let idx = StreamIndex::new(&skewed);
+        assert_eq!(idx.orphan_waits(), 1);
+        assert_eq!(idx.stray_unwaits(), 1);
     }
 
     #[test]

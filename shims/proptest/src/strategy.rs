@@ -248,7 +248,7 @@ mod tests {
         let s = (1u8..10).prop_map(|x| x as u32 * 2);
         for _ in 0..200 {
             let v = s.sample(&mut rng);
-            assert!(v >= 2 && v <= 18 && v % 2 == 0);
+            assert!((2..=18).contains(&v) && v % 2 == 0);
         }
     }
 

@@ -102,6 +102,73 @@ fn run_subcommand_executes_the_dsl() {
 }
 
 #[test]
+fn validate_reports_violations_and_sanitize_recovers() {
+    use tracelens::model::{ScenarioInstance, ThreadId, TimeNs, TraceId};
+    use tracelens::prelude::*;
+
+    let dir = std::env::temp_dir().join("tracelens-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // A clean data set validates with zero exit.
+    let clean_path = dir.join("clean.tlt");
+    let ds = DatasetBuilder::new(3)
+        .traces(10)
+        .mix(ScenarioMix::Only(vec!["BrowserTabCreate".into()]))
+        .build();
+    let f = std::fs::File::create(&clean_path).expect("create");
+    ds.write_text(std::io::BufWriter::new(f)).expect("write");
+    let out = tracelens(&["validate", clean_path.to_str().unwrap()]);
+    assert!(out.status.success(), "clean validate failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no violations"), "{text}");
+
+    // Corrupt it: an instance referencing a stream that does not exist.
+    let corrupt_path = dir.join("corrupt.tlt");
+    let mut bad = ds.clone();
+    bad.instances.push(ScenarioInstance {
+        trace: TraceId(bad.streams.len() as u32 + 2),
+        scenario: bad.scenarios[0].name.clone(),
+        tid: ThreadId(1),
+        t0: TimeNs(0),
+        t1: TimeNs(1),
+    });
+    let f = std::fs::File::create(&corrupt_path).expect("create");
+    bad.write_text(std::io::BufWriter::new(f)).expect("write");
+    let path = corrupt_path.to_str().unwrap();
+
+    // validate: nonzero exit, per-kind counts, every violation listed.
+    let out = tracelens(&["validate", path]);
+    assert!(!out.status.success(), "corrupt validate must fail");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 violations"), "{text}");
+    assert!(text.contains("instance_without_stream"), "{text}");
+
+    // --strict: analysis refuses to run.
+    let out = tracelens(&["impact", path, "--strict"]);
+    assert!(!out.status.success(), "--strict must fail on corrupt input");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--sanitize"), "{err}");
+
+    // --sanitize: analysis runs on the quarantined survivor.
+    let out = tracelens(&["impact", path, "--sanitize"]);
+    assert!(out.status.success(), "--sanitize failed: {out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("1 instances quarantined"), "{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("IA_wait"), "{text}");
+
+    // Default mode still warns and proceeds.
+    let out = tracelens(&["impact", path]);
+    assert!(out.status.success(), "default mode proceeds: {out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning"), "{err}");
+
+    // The two modes together are rejected.
+    let out = tracelens(&["impact", path, "--strict", "--sanitize"]);
+    assert!(!out.status.success());
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     let out = tracelens(&["frobnicate"]);
     assert!(!out.status.success());

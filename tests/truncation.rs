@@ -73,6 +73,65 @@ fn truncated_streams_contain_unpaired_waits() {
     assert!(unpaired > 0, "expected unpaired waits after the cut");
 }
 
+/// A cut timestamp strictly between some wait and its paired unwait,
+/// so truncating there severs the pair mid-wait.
+fn mid_wait_cut(ds: &Dataset) -> TimeNs {
+    for stream in &ds.streams {
+        let index = StreamIndex::new(stream);
+        for e in stream.events() {
+            if e.kind != tracelens::model::EventKind::Wait {
+                continue;
+            }
+            if let Some(u) = index.pair_unwait(stream, e.tid, e.t) {
+                let tu = stream.event(u).expect("paired event exists").t;
+                if tu.0 > e.t.0 + 1 {
+                    return TimeNs((e.t.0 + tu.0) / 2);
+                }
+            }
+        }
+    }
+    panic!("no paired wait with a gap in the workload");
+}
+
+#[test]
+fn mid_wait_truncation_orphans_waits_and_analyses_survive() {
+    let ds = dataset();
+    let cut = ds.truncated(mid_wait_cut(&ds));
+    // The severed pair shows up in the tolerance counters.
+    let orphans: usize = cut
+        .streams
+        .iter()
+        .map(|s| StreamIndex::new(s).orphan_waits())
+        .sum();
+    assert!(orphans > 0, "mid-wait cut must orphan at least one wait");
+    // The sanitized study still runs end-to-end with finite metrics:
+    // truncation is semantic corruption, not structural, so nothing is
+    // quarantined and coverage stays full.
+    let names: Vec<ScenarioName> = cut.scenarios.iter().map(|s| s.name.clone()).collect();
+    let (study, report) = Study::run_sanitized(&cut, &StudyConfig::default(), &names);
+    assert!(study.impact.ia_wait().is_finite());
+    assert_eq!(report.quarantined_traces, 0);
+    assert!(study.coverage.is_full());
+    // And the sanitizer's output passes full validation.
+    let (clean, _) = cut.sanitize();
+    assert!(clean.validate().is_ok());
+}
+
+#[test]
+fn orphan_wait_counters_surface_through_telemetry() {
+    let ds = dataset();
+    let cut = ds.truncated(mid_wait_cut(&ds));
+    let (telemetry, sink) = CollectingSink::telemetry();
+    for stream in &cut.streams {
+        StreamIndex::new_traced(stream, &telemetry);
+    }
+    let counters = sink.report().metrics.counters;
+    assert!(
+        counters.get("waitgraph.orphan_waits").copied().unwrap_or(0) > 0,
+        "orphan waits must be counted: {counters:?}"
+    );
+}
+
 #[test]
 fn truncation_at_zero_empties_everything() {
     let ds = dataset();

@@ -19,4 +19,17 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+echo "== parallel equivalence (TRACELENS_JOBS=4) =="
+# The equivalence suite again, with the pool's auto job count forced to
+# 4: `jobs: 0` paths must resolve through the env var and still match
+# the sequential run byte for byte.
+TRACELENS_JOBS=4 cargo test -q -p tracelens --test parallel_equivalence
+
+echo "== exp_scaling smoke (~30s budget) =="
+# Small corpus so the smoke run stays well under 30 seconds; writes to a
+# scratch path so the checked-in BENCH_pipeline.json is untouched.
+TRACELENS_BENCH_OUT="$(mktemp)" \
+    cargo run -q --release -p tracelens-bench --bin exp_scaling -- 120 2014 \
+    > /dev/null
+
 echo "CI OK"

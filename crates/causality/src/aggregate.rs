@@ -1,7 +1,7 @@
 //! Algorithm 1: aggregating Wait Graphs into an Aggregated Wait Graph.
 
 use crate::awg::{AggregatedWaitGraph, AwgId, AwgKey, AwgNode, InstanceTag, MAX_EXAMPLES};
-use tracelens_model::{ComponentFilter, StackTable, Symbol, TimeNs};
+use tracelens_model::{ComponentFilter, FilterView, StackTable, Symbol, TimeNs};
 use tracelens_waitgraph::{NodeId, NodeKind, WaitGraph};
 
 /// Builds an [`AggregatedWaitGraph`] from many Wait Graphs of the same
@@ -25,17 +25,21 @@ use tracelens_waitgraph::{NodeId, NodeKind, WaitGraph};
 #[derive(Debug)]
 pub struct Aggregator<'a> {
     stacks: &'a StackTable,
-    filter: &'a ComponentFilter,
+    view: FilterView,
     awg: AggregatedWaitGraph,
     current_tag: Option<InstanceTag>,
 }
 
 impl<'a> Aggregator<'a> {
     /// Creates an aggregator for the chosen components.
-    pub fn new(stacks: &'a StackTable, filter: &'a ComponentFilter) -> Self {
+    ///
+    /// The filter is precomputed into a [`FilterView`] up front, so the
+    /// per-node signature lookups during aggregation are array indexes
+    /// rather than glob matches.
+    pub fn new(stacks: &'a StackTable, filter: &ComponentFilter) -> Self {
         Aggregator {
             stacks,
-            filter,
+            view: stacks.filter_view(filter),
             awg: AggregatedWaitGraph::default(),
             current_tag: None,
         }
@@ -91,7 +95,7 @@ impl<'a> Aggregator<'a> {
     /// relevant node on each path (Algorithm 1, lines 3–8).
     fn collect_relevant_roots(&self, graph: &WaitGraph, id: NodeId, out: &mut Vec<NodeId>) {
         let node = graph.node(id);
-        if self.stacks.contains_component(node.stack, self.filter) {
+        if self.view.contains_component(node.stack) {
             out.push(id);
         } else {
             for &c in &node.children {
@@ -103,8 +107,8 @@ impl<'a> Aggregator<'a> {
     /// The node's characterizing signature: the topmost component
     /// signature on the stack if present, otherwise the innermost frame.
     fn signature_of(&self, stack: tracelens_model::StackId) -> Option<Symbol> {
-        self.stacks
-            .top_component_symbol(stack, self.filter)
+        self.view
+            .top_component_symbol(stack)
             .or_else(|| self.stacks.frames(stack).last().copied())
     }
 

@@ -2,7 +2,7 @@
 
 use crate::aggregate::Aggregator;
 use crate::classes::split_classes;
-use crate::contrast::{mine_contrasts_traced, ContrastPattern, MiningStats};
+use crate::contrast::{mine_contrasts_pooled, ContrastPattern, MiningStats};
 use crate::DEFAULT_SEGMENT_BOUND;
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -12,6 +12,7 @@ use tracelens_model::{
     Thresholds, TimeNs,
 };
 use tracelens_obs::{stage, Telemetry};
+use tracelens_pool::Pool;
 use tracelens_waitgraph::{StreamIndex, WaitGraph};
 
 /// Configuration of a causality analysis run.
@@ -70,7 +71,7 @@ impl fmt::Display for CausalityError {
 impl Error for CausalityError {}
 
 /// Output of one causality run over a scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CausalityReport {
     /// The scenario analyzed.
     pub scenario: ScenarioName,
@@ -174,10 +175,18 @@ impl CausalityReport {
 }
 
 /// The causality analysis driver.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CausalityAnalysis {
     config: CausalityConfig,
     telemetry: Telemetry,
+    pool: Pool,
+}
+
+impl Default for CausalityAnalysis {
+    /// Default configuration, no telemetry, sequential execution.
+    fn default() -> Self {
+        CausalityAnalysis::new(CausalityConfig::default())
+    }
 }
 
 impl CausalityAnalysis {
@@ -186,6 +195,7 @@ impl CausalityAnalysis {
         CausalityAnalysis {
             config,
             telemetry: Telemetry::noop(),
+            pool: Pool::sequential(),
         }
     }
 
@@ -194,6 +204,15 @@ impl CausalityAnalysis {
     /// stage spans and mining counters through it.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a thread pool; per-instance Wait-Graph construction and
+    /// the fast/slow meta-pattern enumerations then fan out over its
+    /// workers. Aggregation order is unchanged (graphs are consumed in
+    /// instance order), so reports are identical to the sequential path.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -217,8 +236,7 @@ impl CausalityAnalysis {
     ) -> Result<CausalityReport, CausalityError> {
         let split = {
             let _span = self.telemetry.span(stage::CLASSES);
-            split_classes(dataset, scenario)
-                .ok_or_else(|| CausalityError::UnknownScenario(scenario.clone()))?
+            split_classes(dataset, scenario).ok_or(CausalityError::UnknownScenario(*scenario))?
         };
         if self.telemetry.enabled() {
             self.telemetry
@@ -231,13 +249,13 @@ impl CausalityAnalysis {
         if split.fast.is_empty() {
             return Err(CausalityError::EmptyClass {
                 class: "fast",
-                scenario: scenario.clone(),
+                scenario: *scenario,
             });
         }
         if split.slow.is_empty() {
             return Err(CausalityError::EmptyClass {
                 class: "slow",
-                scenario: scenario.clone(),
+                scenario: *scenario,
             });
         }
 
@@ -263,16 +281,17 @@ impl CausalityAnalysis {
                 .count("aggregate.slow_nodes", slow_awg.node_count() as u64);
         }
 
-        let (patterns, stats) = mine_contrasts_traced(
+        let (patterns, stats) = mine_contrasts_pooled(
             &fast_awg,
             &slow_awg,
             split.thresholds,
             self.config.segment_bound,
             &self.telemetry,
+            &self.pool,
         );
 
         Ok(CausalityReport {
-            scenario: scenario.clone(),
+            scenario: *scenario,
             thresholds: split.thresholds,
             fast_instances: split.fast.len(),
             slow_instances: split.slow.len(),
@@ -286,6 +305,11 @@ impl CausalityAnalysis {
 
     /// Builds and aggregates the Wait Graphs of `instances`, grouping by
     /// stream so each stream's index is built once.
+    ///
+    /// Graph construction fans out over the analysis pool; aggregation
+    /// stays sequential in instance order (the AWG trie is insertion-
+    /// order-sensitive for node ids), so the aggregate is byte-identical
+    /// to a fully sequential run.
     fn aggregate_instances(
         &self,
         dataset: &Dataset,
@@ -301,9 +325,11 @@ impl CausalityAnalysis {
                 continue;
             };
             let index = StreamIndex::new_traced(stream, &self.telemetry);
-            for instance in group {
-                let graph = WaitGraph::build_traced(stream, &index, instance, &self.telemetry);
-                agg.add_graph_tagged(&graph, (instance.trace, instance.tid));
+            let graphs = self.pool.map(&group, |_, &instance| {
+                WaitGraph::build_traced(stream, &index, instance, &self.telemetry)
+            });
+            for (graph, instance) in graphs.iter().zip(&group) {
+                agg.add_graph_tagged(graph, (instance.trace, instance.tid));
             }
         }
     }

@@ -5,12 +5,12 @@
 //! tracelens run       SCRIPT.tsim [-o FILE]
 //! tracelens info      FILE
 //! tracelens validate  FILE [--sanitize]
-//! tracelens impact    FILE [--components GLOB] [--scenario NAME]
+//! tracelens impact    FILE [--components GLOB] [--scenario NAME] [--jobs N]
 //! tracelens blame     FILE [--scenario NAME] [--components GLOB]
 //! tracelens causality FILE --scenario NAME [--top N] [--k K] [--no-reduce]
 //! tracelens scenarios FILE
 //! tracelens locate    FILE --scenario NAME [--rank R] [--top N]
-//! tracelens report    FILE [-o REPORT.md] [--top N]
+//! tracelens report    FILE [-o REPORT.md] [--top N] [--jobs N]
 //! tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]
 //! tracelens baselines FILE [--top N]
 //! ```
@@ -22,6 +22,12 @@
 //! corrupt input before analysis, reporting coverage on stderr) and
 //! `--strict` (treat any validation violation as a hard error). The
 //! default keeps the historical behavior: warn and proceed.
+//!
+//! Analysis commands (`impact`, `causality`, `report`) accept
+//! `--jobs N`: worker threads for the analysis pool. `1` is fully
+//! sequential; `0` (the default) picks `TRACELENS_JOBS` or the
+//! machine's available parallelism. Results are byte-identical at
+//! every setting.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -76,18 +82,20 @@ fn print_usage() {
          \x20 tracelens run       SCRIPT.tsim [-o FILE]   (machine DSL; see sim::script)\n\
          \x20 tracelens info      FILE\n\
          \x20 tracelens validate  FILE [--sanitize]   (list violations; nonzero exit if any)\n\
-         \x20 tracelens impact    FILE [--components GLOB] [--scenario NAME]\n\
+         \x20 tracelens impact    FILE [--components GLOB] [--scenario NAME] [--jobs N]\n\
          \x20 tracelens blame     FILE [--scenario NAME] [--components GLOB]\n\
          \x20 tracelens causality FILE --scenario NAME [--top N] [--k K] [--no-reduce]\n\
          \x20 tracelens scenarios FILE\n\
          \x20 tracelens locate    FILE --scenario NAME [--rank R] [--top N]\n\
-         \x20 tracelens report    FILE [-o REPORT.md] [--top N]\n\
+         \x20 tracelens report    FILE [-o REPORT.md] [--top N] [--jobs N]\n\
          \x20 tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]\n\
          \x20 tracelens baselines FILE [--top N]\n\
          \n\
          FILE is a .tlt data set; `-` reads stdin / writes stdout.\n\
          Commands reading FILE also accept --sanitize (repair/quarantine\n\
-         corrupt input, report coverage) and --strict (violations are fatal)."
+         corrupt input, report coverage) and --strict (violations are fatal).\n\
+         Analysis commands (impact, causality, report) accept --jobs N\n\
+         (0 = TRACELENS_JOBS or all cores; results identical at any N)."
     );
 }
 
@@ -301,11 +309,12 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_impact(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["components", "scenario"])?;
+    let opts = Opts::parse(args, &["components", "scenario", "jobs"])?;
     let path = opts.positional.first().ok_or("impact requires FILE")?;
+    let jobs: usize = opts.parsed("jobs", 0)?;
     let ds = load(path, &opts)?;
     let filter = ComponentFilter::glob(opts.value("components").unwrap_or("*.sys"));
-    let analyzer = ImpactAnalyzer::new(filter.clone());
+    let analyzer = ImpactAnalyzer::new(filter.clone()).with_pool(Pool::new(jobs));
     let report = match opts.value("scenario") {
         Some(name) => {
             let name = ScenarioName::new(name);
@@ -358,8 +367,9 @@ fn cmd_blame(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_causality(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["scenario", "top", "k", "components"])?;
+    let opts = Opts::parse(args, &["scenario", "top", "k", "components", "jobs"])?;
     let path = opts.positional.first().ok_or("causality requires FILE")?;
+    let jobs: usize = opts.parsed("jobs", 0)?;
     let scenario = ScenarioName::new(
         opts.value("scenario")
             .ok_or("causality requires --scenario NAME")?,
@@ -376,6 +386,7 @@ fn cmd_causality(args: &[String]) -> Result<(), String> {
         reduce: !opts.has("no-reduce"),
     };
     let report = CausalityAnalysis::new(config)
+        .with_pool(Pool::new(jobs))
         .analyze(&ds, &scenario)
         .map_err(|e| e.to_string())?;
     println!(
@@ -507,12 +518,17 @@ fn cmd_locate(args: &[String]) -> Result<(), String> {
 
 /// Renders the full Markdown study report.
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["top"])?;
+    let opts = Opts::parse(args, &["top", "jobs"])?;
     let path = opts.positional.first().ok_or("report requires FILE")?;
     let top: usize = opts.parsed("top", 3)?;
+    let jobs: usize = opts.parsed("jobs", 0)?;
     let ds = load(path, &opts)?;
-    let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name.clone()).collect();
-    let study = Study::run(&ds, &StudyConfig::default(), &names);
+    let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
+    let config = StudyConfig {
+        jobs,
+        ..StudyConfig::default()
+    };
+    let study = Study::run(&ds, &config, &names);
     let md = tracelens::render_markdown(
         &study,
         &ds,

@@ -49,6 +49,7 @@ pub use tracelens_faults as faults;
 pub use tracelens_impact as impact;
 pub use tracelens_model as model;
 pub use tracelens_obs as obs;
+pub use tracelens_pool as pool;
 pub use tracelens_sim as sim;
 pub use tracelens_waitgraph as waitgraph;
 
@@ -67,6 +68,7 @@ pub mod prelude {
         TraceStreamBuilder,
     };
     pub use tracelens_obs::{stage, CollectingSink, RunReport, Telemetry};
+    pub use tracelens_pool::Pool;
     pub use tracelens_sim::{DatasetBuilder, Machine, ProgramBuilder, ScenarioMix};
     pub use tracelens_waitgraph::{StreamIndex, WaitGraph};
 

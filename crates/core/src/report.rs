@@ -197,14 +197,14 @@ mod tests {
     fn coverage_section_appears_only_for_partial_studies() {
         use tracelens_model::{ScenarioInstance, ThreadId, TimeNs, TraceId};
         let mut ds = DatasetBuilder::new(9).traces(10).build();
-        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name.clone()).collect();
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
         let full = Study::run(&ds, &StudyConfig::default(), &names);
         let md = render_markdown(&full, &ds, &ReportOptions::default());
         assert!(!md.contains("## Coverage"));
 
         ds.instances.push(ScenarioInstance {
             trace: TraceId(ds.streams.len() as u32 + 3),
-            scenario: ds.scenarios[0].name.clone(),
+            scenario: ds.scenarios[0].name,
             tid: ThreadId(1),
             t0: TimeNs(0),
             t1: TimeNs(1),

@@ -5,6 +5,7 @@ use tracelens_causality::{CausalityAnalysis, CausalityConfig, CausalityError, Ca
 use tracelens_impact::{ImpactAnalyzer, ImpactReport};
 use tracelens_model::{ComponentFilter, Dataset, SanitizeReport, ScenarioName};
 use tracelens_obs::{stage, Telemetry};
+use tracelens_pool::Pool;
 
 /// Configuration of a [`Study`].
 #[derive(Debug, Clone)]
@@ -13,6 +14,11 @@ pub struct StudyConfig {
     pub components: ComponentFilter,
     /// Causality configuration (segment bound, reduction).
     pub causality: CausalityConfig,
+    /// Worker threads for the analysis stages: `1` runs fully
+    /// sequential, `0` (the default) picks `TRACELENS_JOBS` or the
+    /// machine's available parallelism. Results are byte-identical at
+    /// every setting.
+    pub jobs: usize,
 }
 
 impl Default for StudyConfig {
@@ -20,6 +26,7 @@ impl Default for StudyConfig {
         StudyConfig {
             components: ComponentFilter::suffix(".sys"),
             causality: CausalityConfig::default(),
+            jobs: 0,
         }
     }
 }
@@ -139,33 +146,41 @@ impl Study {
         telemetry: &Telemetry,
     ) -> Study {
         let _span = telemetry.span(stage::STUDY);
+        let pool = Pool::new(config.jobs).with_telemetry(telemetry.clone());
+        // The global impact pass gets the full pool (it fans out per
+        // stream); the per-scenario passes fan out over scenarios below,
+        // so their analyzers stay sequential — one level of parallelism,
+        // no thread multiplication.
+        let impact = ImpactAnalyzer::new(config.components.clone())
+            .with_telemetry(telemetry.clone())
+            .with_pool(pool.clone())
+            .analyze(dataset);
         let analyzer =
             ImpactAnalyzer::new(config.components.clone()).with_telemetry(telemetry.clone());
         let causality =
             CausalityAnalysis::new(config.causality.clone()).with_telemetry(telemetry.clone());
-        let impact = analyzer.analyze(dataset);
         if telemetry.enabled() {
             telemetry.count("study.scenarios", names.len() as u64);
         }
-        let mut scenarios = BTreeMap::new();
-        for name in names {
-            let scenario_impact = analyzer.analyze_where(dataset, |i| &i.scenario == name);
+        // Scenario tasks are independent; the merge below consumes them
+        // in input order, so the study is identical at any job count.
+        let studies = pool.map(names, |_, name| {
+            let scenario_impact = analyzer.analyze_where(dataset, |i| i.scenario == *name);
             let thresholds = dataset.scenario(name).map(|s| s.thresholds);
             let slow_impact = match thresholds {
                 Some(th) => analyzer.analyze_where(dataset, |i| {
-                    &i.scenario == name && th.classify(i.duration()) == Some(false)
+                    i.scenario == *name && th.classify(i.duration()) == Some(false)
                 }),
                 None => ImpactReport::default(),
             };
-            scenarios.insert(
-                name.clone(),
-                ScenarioStudy {
-                    impact: scenario_impact,
-                    slow_impact,
-                    causality: causality.analyze(dataset, name),
-                },
-            );
-        }
+            ScenarioStudy {
+                impact: scenario_impact,
+                slow_impact,
+                causality: causality.analyze(dataset, name),
+            }
+        });
+        let scenarios: BTreeMap<ScenarioName, ScenarioStudy> =
+            names.iter().copied().zip(studies).collect();
         Study {
             impact,
             scenarios,
@@ -175,7 +190,7 @@ impl Study {
 
     /// Runs the study over all scenarios present in the data set.
     pub fn run_all(dataset: &Dataset, config: &StudyConfig) -> Study {
-        let names: Vec<ScenarioName> = dataset.scenarios.iter().map(|s| s.name.clone()).collect();
+        let names: Vec<ScenarioName> = dataset.scenarios.iter().map(|s| s.name).collect();
         Study::run(dataset, config, &names)
     }
 
@@ -270,7 +285,7 @@ mod tests {
     #[test]
     fn run_sanitized_on_clean_input_has_full_coverage() {
         let ds = DatasetBuilder::new(7).traces(20).build();
-        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name.clone()).collect();
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
         let (study, report) = Study::run_sanitized(&ds, &StudyConfig::default(), &names);
         assert!(report.is_clean());
         assert!(study.coverage.is_full());
@@ -284,7 +299,7 @@ mod tests {
         use tracelens_model::{ScenarioInstance, ThreadId, TimeNs, TraceId};
         let mut ds = DatasetBuilder::new(8).traces(10).build();
         let dangling = TraceId(ds.streams.len() as u32 + 5);
-        let scenario = ds.scenarios[0].name.clone();
+        let scenario = ds.scenarios[0].name;
         ds.instances.push(ScenarioInstance {
             trace: dangling,
             scenario,
@@ -292,7 +307,7 @@ mod tests {
             t0: TimeNs(0),
             t1: TimeNs(1),
         });
-        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name.clone()).collect();
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
         let (study, report) = Study::run_sanitized(&ds, &StudyConfig::default(), &names);
         assert_eq!(report.quarantined_instances, 1);
         assert!(!study.coverage.is_full());

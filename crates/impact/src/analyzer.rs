@@ -1,11 +1,12 @@
 //! The impact analyzer: Wait-Graph traversal and metric accumulation.
 
 use crate::report::ImpactReport;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use tracelens_model::{
-    ComponentFilter, Dataset, ProcessId, ScenarioInstance, ScenarioName, StackTable, TimeNs,
-    TraceId,
+    ComponentFilter, Dataset, FilterView, ProcessId, ScenarioInstance, ScenarioName, TimeNs,
+    TraceId, TraceStream,
 };
+use tracelens_pool::Pool;
 use tracelens_waitgraph::{NodeKind, StreamIndex, WaitGraph};
 
 /// Impact analysis for one component selection (paper §3.2).
@@ -32,6 +33,7 @@ use tracelens_waitgraph::{NodeKind, StreamIndex, WaitGraph};
 pub struct ImpactAnalyzer {
     filter: ComponentFilter,
     telemetry: tracelens_obs::Telemetry,
+    pool: Pool,
 }
 
 impl ImpactAnalyzer {
@@ -40,6 +42,7 @@ impl ImpactAnalyzer {
         ImpactAnalyzer {
             filter,
             telemetry: tracelens_obs::Telemetry::noop(),
+            pool: Pool::sequential(),
         }
     }
 
@@ -47,6 +50,15 @@ impl ImpactAnalyzer {
     /// `impact` stage span plus graph/node counters through it.
     pub fn with_telemetry(mut self, telemetry: tracelens_obs::Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a thread pool; per-stream analysis then fans out over its
+    /// workers. Results are identical to the sequential default — partial
+    /// reports are merged in stream order and distinct-wait unions are
+    /// per trace, so no thread schedule can reorder the output.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -62,31 +74,54 @@ impl ImpactAnalyzer {
 
     /// Analyzes the instances satisfying `keep` (e.g. a single scenario,
     /// or only a slow class).
+    ///
+    /// Instances are pre-grouped per trace in a single pass, then each
+    /// stream with work is analyzed as one (possibly parallel) task; the
+    /// per-stream partial reports merge in stream order, so the result is
+    /// independent of job count.
     pub fn analyze_where<F>(&self, dataset: &Dataset, keep: F) -> ImpactReport
     where
         F: Fn(&ScenarioInstance) -> bool,
     {
         let _span = self.telemetry.span(tracelens_obs::stage::IMPACT);
-        let mut intervals: BTreeMap<TraceId, Vec<(TimeNs, TimeNs)>> = BTreeMap::new();
-        let mut report = ImpactReport::default();
-        for stream in &dataset.streams {
-            let instances: Vec<&ScenarioInstance> = dataset
-                .instances
-                .iter()
-                .filter(|i| i.trace == stream.id() && keep(i))
-                .collect();
-            if instances.is_empty() {
-                continue;
-            }
+        // One pass over the instances instead of one per stream.
+        let mut by_trace: HashMap<TraceId, Vec<&ScenarioInstance>> = HashMap::new();
+        for i in dataset.instances.iter().filter(|i| keep(i)) {
+            by_trace.entry(i.trace).or_default().push(i);
+        }
+        // Streams sharing a trace id (pre-sanitize duplicates) each
+        // analyze the full instance group, exactly as the per-stream
+        // filter scan did.
+        let tasks: Vec<(&TraceStream, &[&ScenarioInstance])> = dataset
+            .streams
+            .iter()
+            .filter_map(|s| {
+                by_trace
+                    .get(&s.id())
+                    .map(|instances| (s, instances.as_slice()))
+            })
+            .collect();
+        let view = dataset.stacks.filter_view(&self.filter);
+        let partials = self.pool.map(&tasks, |_, &(stream, instances)| {
             let index = StreamIndex::new_traced(stream, &self.telemetry);
-            let per_trace = intervals.entry(stream.id()).or_default();
+            let mut partial = ImpactReport::default();
+            let mut intervals = Vec::new();
             for instance in instances {
                 let graph = WaitGraph::build_traced(stream, &index, instance, &self.telemetry);
-                let partial = self.account_graph(&graph, &dataset.stacks, instance, per_trace);
-                report.absorb(&partial);
+                partial.absorb(&self.account_graph(&graph, &view, instance, &mut intervals));
             }
+            (stream.id(), partial, intervals)
+        });
+        // Deterministic merge: partials arrive in stream order; interval
+        // unions are keyed per trace (and are order-independent anyway —
+        // `union_length` sorts).
+        let mut intervals: BTreeMap<TraceId, Vec<(TimeNs, TimeNs)>> = BTreeMap::new();
+        let mut report = ImpactReport::default();
+        for (trace, partial, iv) in partials {
+            report.absorb(&partial);
+            intervals.entry(trace).or_default().extend(iv);
         }
-        report.d_wait_dist = intervals.values().map(|iv| union_length(iv.clone())).sum();
+        report.d_wait_dist = intervals.into_values().map(union_length).sum();
         if self.telemetry.enabled() {
             self.telemetry
                 .count("impact.instances", report.instances as u64);
@@ -102,11 +137,7 @@ impl ImpactAnalyzer {
     /// once in each scenario's report).
     pub fn analyze_by_scenario(&self, dataset: &Dataset) -> BTreeMap<ScenarioName, ImpactReport> {
         let mut out = BTreeMap::new();
-        let names: HashSet<ScenarioName> = dataset
-            .instances
-            .iter()
-            .map(|i| i.scenario.clone())
-            .collect();
+        let names: BTreeSet<ScenarioName> = dataset.instances.iter().map(|i| i.scenario).collect();
         for name in names {
             let report = self.analyze_where(dataset, |i| i.scenario == name);
             out.insert(name, report);
@@ -149,10 +180,15 @@ impl ImpactAnalyzer {
     /// Accounts a single Wait Graph into a partial report (everything but
     /// `d_wait_dist`), appending the counted top-level wait intervals to
     /// `intervals` for later cross-graph union.
+    ///
+    /// `view` must be built from the dataset's stack table with this
+    /// analyzer's filter ([`tracelens_model::StackTable::filter_view`]);
+    /// the per-node component test is then an array lookup rather than a
+    /// string match.
     pub fn account_graph(
         &self,
         graph: &WaitGraph,
-        stacks: &StackTable,
+        view: &FilterView,
         instance: &ScenarioInstance,
         intervals: &mut Vec<(TimeNs, TimeNs)>,
     ) -> ImpactReport {
@@ -170,20 +206,14 @@ impl ImpactAnalyzer {
             let mut now_under = under;
             match node.kind {
                 NodeKind::Wait { .. } | NodeKind::UnpairedWait => {
-                    let matches = stacks
-                        .top_component_symbol(node.stack, &self.filter)
-                        .is_some();
-                    if matches && !under {
+                    if view.top_component_symbol(node.stack).is_some() && !under {
                         report.d_wait += node.duration;
                         intervals.push((node.t, node.t + node.duration));
                         now_under = true;
                     }
                 }
                 NodeKind::Running => {
-                    if stacks
-                        .top_component_symbol(node.stack, &self.filter)
-                        .is_some()
-                    {
+                    if view.top_component_symbol(node.stack).is_some() {
                         report.d_run += node.duration;
                     }
                 }
@@ -413,6 +443,31 @@ mod tests {
         assert_eq!(p2.instances, 1);
         assert_eq!(p1.d_wait, TimeNs(30));
         assert_eq!(p2.d_wait, TimeNs(70));
+    }
+
+    #[test]
+    fn parallel_analysis_matches_sequential() {
+        // Two streams so the per-stream fan-out actually has >1 task.
+        let mut ds = fixture();
+        let drv = ds.stacks.intern_symbols(&["app!M", "net.sys!Recv"]);
+        let mut b = TraceStreamBuilder::new(1);
+        b.push_wait(ThreadId(4), TimeNs(0), TimeNs::ZERO, drv);
+        b.push_unwait(ThreadId(5), ThreadId(4), TimeNs(25), drv);
+        ds.streams.push(b.finish().unwrap());
+        ds.instances.push(ScenarioInstance {
+            trace: TraceId(1),
+            scenario: ScenarioName::new("B"),
+            tid: ThreadId(4),
+            t0: TimeNs(0),
+            t1: TimeNs(30),
+        });
+        let sequential = ImpactAnalyzer::new(ComponentFilter::suffix(".sys")).analyze(&ds);
+        for jobs in [2, 4, 8] {
+            let parallel = ImpactAnalyzer::new(ComponentFilter::suffix(".sys"))
+                .with_pool(Pool::new(jobs))
+                .analyze(&ds);
+            assert_eq!(parallel, sequential, "jobs={jobs}");
+        }
     }
 
     #[test]

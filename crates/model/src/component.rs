@@ -7,11 +7,16 @@
 //! is the ten-way driver taxonomy of Table 4.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A predicate over component (module) names.
 ///
 /// Supports the simple glob syntax the paper uses: `*` matches any run of
 /// characters. Filters can also be an explicit name list or match-all.
+///
+/// The pattern/name storage is `Arc`-backed so a filter clone is a
+/// reference-count bump — filters fan out to one analyzer per scenario
+/// and per worker thread.
 ///
 /// ```
 /// use tracelens_model::ComponentFilter;
@@ -27,22 +32,22 @@ pub enum ComponentFilter {
     /// Matches every component.
     Any,
     /// Matches a glob pattern (`*` wildcard only).
-    Glob(String),
+    Glob(Arc<str>),
     /// Matches any of an explicit list of component names.
-    Names(Vec<String>),
+    Names(Arc<[String]>),
 }
 
 impl ComponentFilter {
     /// A filter matching all modules whose name matches the glob `pattern`.
     pub fn glob(pattern: &str) -> Self {
-        ComponentFilter::Glob(pattern.to_owned())
+        ComponentFilter::Glob(Arc::from(pattern))
     }
 
     /// A filter matching modules ending with `suffix` — shorthand for
     /// `glob("*<suffix>")`; `ComponentFilter::suffix(".sys")` selects all
     /// device drivers.
     pub fn suffix(suffix: &str) -> Self {
-        ComponentFilter::Glob(format!("*{suffix}"))
+        ComponentFilter::Glob(Arc::from(format!("*{suffix}").as_str()))
     }
 
     /// A filter matching exactly the given component names.

@@ -44,7 +44,7 @@ impl Dataset {
         &'a self,
         name: &ScenarioName,
     ) -> impl Iterator<Item = &'a ScenarioInstance> + 'a {
-        let name = name.clone();
+        let name = *name;
         self.instances.iter().filter(move |i| i.scenario == name)
     }
 
@@ -58,7 +58,7 @@ impl Dataset {
     pub fn instance_counts(&self) -> BTreeMap<ScenarioName, usize> {
         let mut counts = BTreeMap::new();
         for i in &self.instances {
-            *counts.entry(i.scenario.clone()).or_insert(0) += 1;
+            *counts.entry(i.scenario).or_insert(0) += 1;
         }
         counts
     }

@@ -60,7 +60,7 @@ pub use intern::{InternError, Interner, Symbol};
 pub use sanitize::{SanitizeReport, DUPLICATE_TRACE_ID};
 pub use scenario::{Scenario, ScenarioInstance, ScenarioName, Thresholds};
 pub use signature::{ParseSignatureError, Signature};
-pub use stack::{StackId, StackTable};
+pub use stack::{FilterView, StackId, StackTable};
 pub use stream::{StreamError, TraceStream, TraceStreamBuilder};
 pub use summary::{DatasetSummary, DurationStats};
 pub use time::TimeNs;

@@ -7,15 +7,42 @@
 
 use crate::ids::{ThreadId, TraceId};
 use crate::time::TimeNs;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
 
-/// Name of an application scenario.
+/// Name of an application scenario, interned process-wide.
 ///
-/// A thin string wrapper: the paper's data set has 1,364 scenario names,
-/// so this is open-ended rather than an enum. The eight scenarios of the
-/// evaluation are provided as constants.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ScenarioName(pub String);
+/// The paper's data set has 1,364 scenario names, so this is open-ended
+/// rather than an enum — but names repeat across hundreds of thousands
+/// of scenario instances and flow through every analysis layer, so they
+/// are interned: a `ScenarioName` is a `Copy`able `u32` handle into a
+/// global name table, equality is an integer compare, and the text is
+/// resolved only at render time. The eight scenarios of the evaluation
+/// are provided as constants.
+///
+/// Interning is process-global (names are not dataset-scoped the way
+/// callstacks are): each distinct name's text is stored once for the
+/// lifetime of the process, which is bounded by the number of distinct
+/// scenario names ever seen — thousands, not millions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScenarioName(u32);
+
+/// The process-wide scenario-name table behind [`ScenarioName`].
+struct NameTable {
+    names: Vec<&'static str>,
+    index: HashMap<&'static str, u32>,
+}
+
+fn name_table() -> &'static RwLock<NameTable> {
+    static TABLE: OnceLock<RwLock<NameTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(NameTable {
+            names: Vec::new(),
+            index: HashMap::new(),
+        })
+    })
+}
 
 impl ScenarioName {
     /// The eight selected scenarios of the paper's Table 1.
@@ -30,26 +57,81 @@ impl ScenarioName {
         "WebPageNavigation",
     ];
 
-    /// Creates a scenario name.
-    pub fn new(name: impl Into<String>) -> Self {
-        ScenarioName(name.into())
+    /// Creates (interns) a scenario name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
+        {
+            let table = name_table().read().expect("name table poisoned");
+            if let Some(&id) = table.index.get(name) {
+                return ScenarioName(id);
+            }
+        }
+        let mut table = name_table().write().expect("name table poisoned");
+        if let Some(&id) = table.index.get(name) {
+            return ScenarioName(id);
+        }
+        // First sighting of this name in the process: store its text
+        // once, for the process lifetime.
+        let text: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(table.names.len()).expect("fewer than 2^32 scenario names");
+        table.names.push(text);
+        table.index.insert(text, id);
+        ScenarioName(id)
     }
 
     /// The name text.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        name_table().read().expect("name table poisoned").names[self.0 as usize]
+    }
+
+    /// The interned id — stable within a process, meaningless across
+    /// processes. Useful as a deterministic tie-breaker only alongside
+    /// a primary order on the text.
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ScenarioName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ScenarioName({:?})", self.as_str())
+    }
+}
+
+/// Ordered by name text (not intern id), so `BTreeMap<ScenarioName, _>`
+/// iterates scenarios alphabetically regardless of interning order —
+/// report output must not depend on which dataset was loaded first.
+impl Ord for ScenarioName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for ScenarioName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
 impl fmt::Display for ScenarioName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
 impl From<&str> for ScenarioName {
     fn from(s: &str) -> Self {
-        ScenarioName(s.to_owned())
+        ScenarioName::new(s)
+    }
+}
+
+impl From<String> for ScenarioName {
+    fn from(s: String) -> Self {
+        ScenarioName::new(s)
     }
 }
 

@@ -50,7 +50,7 @@ pub fn infer_instances(
         .into_iter()
         .map(|(t0, t1)| ScenarioInstance {
             trace: stream.id(),
-            scenario: scenario.clone(),
+            scenario: *scenario,
             tid,
             t0,
             t1,

@@ -127,6 +127,60 @@ impl StackTable {
     pub fn is_empty(&self) -> bool {
         self.stacks.is_empty()
     }
+
+    /// Precomputes the per-stack answers of [`Self::top_component_symbol`]
+    /// and [`Self::contains_component`] for one filter.
+    ///
+    /// The glob/name matching runs once per distinct *frame symbol* (and
+    /// once per distinct stack to fold frames), after which every hot-path
+    /// query is an array index. Build one view per analysis pass; the view
+    /// is immutable and snapshot-consistent with the table at build time.
+    pub fn filter_view(&self, filter: &ComponentFilter) -> FilterView {
+        let mut symbol_matches = vec![false; self.symbols.len()];
+        for (sym, _) in self.symbols.iter() {
+            symbol_matches[sym.0 as usize] = self.symbol_matches(sym, filter);
+        }
+        let mut top = Vec::with_capacity(self.stacks.len());
+        let mut contains = Vec::with_capacity(self.stacks.len());
+        for frames in &self.stacks {
+            let t = frames
+                .iter()
+                .rev()
+                .find(|&&sym| symbol_matches[sym.0 as usize])
+                .copied();
+            top.push(t);
+            contains.push(t.is_some());
+        }
+        FilterView { top, contains }
+    }
+}
+
+/// Precomputed filter-match cache over the stacks of one [`StackTable`].
+///
+/// Answers the two questions the analysis hot paths ask about every wait
+/// node — "which is the innermost matching frame?" and "does any frame
+/// match?" — in O(1), replacing per-node string resolution and glob
+/// matching. Produced by [`StackTable::filter_view`]; only valid for
+/// [`StackId`]s from the table it was built from (stacks interned after
+/// the view was built fall back to the miss answers `None`/`false`).
+#[derive(Debug, Clone)]
+pub struct FilterView {
+    top: Vec<Option<Symbol>>,
+    contains: Vec<bool>,
+}
+
+impl FilterView {
+    /// The innermost frame of `id` matching the view's filter — the
+    /// cached answer of [`StackTable::top_component_symbol`].
+    pub fn top_component_symbol(&self, id: StackId) -> Option<Symbol> {
+        self.top.get(id.0 as usize).copied().flatten()
+    }
+
+    /// Whether any frame of `id` matches the view's filter — the cached
+    /// answer of [`StackTable::contains_component`].
+    pub fn contains_component(&self, id: StackId) -> bool {
+        self.contains.get(id.0 as usize).copied().unwrap_or(false)
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +246,28 @@ mod tests {
         let id = t.intern(&[]);
         let f = ComponentFilter::suffix(".sys");
         assert_eq!(t.top_component_symbol(id, &f), None);
+    }
+
+    #[test]
+    fn filter_view_agrees_with_direct_queries() {
+        let mut t = table();
+        let ids = [
+            t.intern_symbols(&["app!Main", "fv.sys!Query", "kernel!Call", "fs.sys!Acquire"]),
+            t.intern_symbols(&["app!Main", "kernel!Sleep"]),
+            t.intern(&[]),
+            t.intern_symbols(&["net.sys!Send"]),
+        ];
+        let f = ComponentFilter::suffix(".sys");
+        let view = t.filter_view(&f);
+        for id in ids {
+            assert_eq!(
+                view.top_component_symbol(id),
+                t.top_component_symbol(id, &f)
+            );
+            assert_eq!(view.contains_component(id), t.contains_component(id, &f));
+        }
+        // Ids beyond the snapshot answer as misses.
+        assert_eq!(view.top_component_symbol(StackId(999)), None);
+        assert!(!view.contains_component(StackId(999)));
     }
 }

@@ -100,9 +100,7 @@ impl DatasetSummary {
         }
         let mut per: BTreeMap<ScenarioName, Vec<TimeNs>> = BTreeMap::new();
         for i in &dataset.instances {
-            per.entry(i.scenario.clone())
-                .or_default()
-                .push(i.duration());
+            per.entry(i.scenario).or_default().push(i.duration());
         }
         let overall = DurationStats::of(
             dataset

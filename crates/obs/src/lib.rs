@@ -77,6 +77,10 @@ pub mod stage {
     /// Data-set sanitization (repair + quarantine) before analysis.
     /// Not part of [`PIPELINE`]: it only runs on corrupt input paths.
     pub const SANITIZE: &str = "sanitize";
+    /// Thread-pool execution (`tracelens-pool`): worker fan-out,
+    /// queue-depth and busy-time metrics. Not part of [`PIPELINE`]: the
+    /// pool runs *inside* the other stages.
+    pub const POOL: &str = "pool";
 
     /// The pipeline stages every full analysis run reports, in order.
     pub const PIPELINE: &[&str] = &[
@@ -94,6 +98,7 @@ mod tests {
         names.push(stage::REDUCE);
         names.push(stage::STUDY);
         names.push(stage::SANITIZE);
+        names.push(stage::POOL);
         let n = names.len();
         names.sort_unstable();
         names.dedup();

@@ -1,0 +1,357 @@
+//! # tracelens-pool
+//!
+//! A zero-dependency parallel execution layer for the analysis pipeline:
+//! std-only (`std::thread` + atomics), deterministic, and aware of the
+//! `--jobs N` / `TRACELENS_JOBS` knob every tracelens binary honors.
+//!
+//! The core primitive is [`Pool::map`]: apply a function to every item
+//! of a slice on `jobs` worker threads and return the results **in input
+//! order**, so a parallel run is byte-identical to a sequential one as
+//! long as the function itself is deterministic. Work distribution is
+//! chunked self-scheduling (workers claim the next unclaimed index from
+//! a shared atomic counter), which load-balances skewed item costs the
+//! same way a work-stealing deque would for this fan-out/fan-in shape —
+//! without unsafe code or per-item channels.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Results are merged in input order; nothing about
+//!    thread scheduling can leak into the output.
+//! 2. **Sequential fidelity.** A pool with `jobs == 1` never spawns a
+//!    thread: [`Pool::map`] degenerates to a plain iterator loop, so the
+//!    `--jobs 1` path *is* the sequential implementation, not a
+//!    single-threaded simulation of the parallel one.
+//! 3. **Zero dependencies.** Scoped threads (`std::thread::scope`) let
+//!    workers borrow the items and the closure directly; no channels,
+//!    no `'static` bounds, no allocation per item beyond the result.
+//!
+//! Telemetry: a pool built [`Pool::with_telemetry`] reports
+//! `pool.tasks` / `pool.batches` counters, a `pool.queue_depth`
+//! histogram (remaining items observed at each claim), and a
+//! `pool.worker_busy_ns` per-worker busy-time histogram, so stage
+//! timings can be split per worker in the run report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tracelens_obs::Telemetry;
+
+/// Environment variable overriding the default worker count, honored by
+/// [`Pool::auto`] (and therefore by every pipeline entry point that
+/// defaults its pool). `--jobs N` flags take precedence over it.
+pub const JOBS_ENV: &str = "TRACELENS_JOBS";
+
+/// A parallel-map executor with a fixed worker count.
+///
+/// Cheap to clone and to construct; worker threads are scoped to each
+/// [`Pool::map`] call, so an idle pool holds no OS resources.
+///
+/// ```
+/// use tracelens_pool::Pool;
+/// let pool = Pool::new(4);
+/// let squares = pool.map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pool {
+    jobs: usize,
+    telemetry: Telemetry,
+}
+
+impl Default for Pool {
+    /// [`Pool::auto`]: the `TRACELENS_JOBS` / `available_parallelism`
+    /// default.
+    fn default() -> Self {
+        Pool::auto()
+    }
+}
+
+impl Pool {
+    /// A pool with exactly `jobs` workers; `0` means "auto" (the
+    /// [`JOBS_ENV`] variable if set and valid, otherwise
+    /// [`std::thread::available_parallelism`]).
+    pub fn new(jobs: usize) -> Pool {
+        let jobs = if jobs == 0 { default_jobs() } else { jobs };
+        Pool {
+            jobs,
+            telemetry: Telemetry::noop(),
+        }
+    }
+
+    /// The environment/hardware default: `TRACELENS_JOBS` if set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn auto() -> Pool {
+        Pool::new(0)
+    }
+
+    /// A single-worker pool: [`Pool::map`] runs inline on the calling
+    /// thread. This is the exact sequential pipeline, used both as the
+    /// `--jobs 1` path and as the inner pool of stages that already fan
+    /// out at a coarser granularity.
+    pub fn sequential() -> Pool {
+        Pool {
+            jobs: 1,
+            telemetry: Telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry handle; every subsequent [`Pool::map`] batch
+    /// then reports pool counters and per-worker busy-time histograms
+    /// through it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Pool {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether this pool will actually spawn threads for multi-item
+    /// batches.
+    pub fn is_parallel(&self) -> bool {
+        self.jobs > 1
+    }
+
+    /// Applies `f` to every item and returns the results in input order.
+    ///
+    /// `f` receives `(index, &item)`; it must be deterministic for the
+    /// parallel and sequential paths to agree. Panics inside `f` are
+    /// propagated to the caller after all workers have stopped.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.jobs <= 1 || items.len() <= 1 {
+            if self.telemetry.enabled() {
+                self.telemetry.count("pool.batches", 1);
+                self.telemetry.count("pool.tasks", items.len() as u64);
+            }
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let workers = self.jobs.min(items.len());
+        if self.telemetry.enabled() {
+            self.telemetry.count("pool.batches", 1);
+            self.telemetry.count("pool.tasks", items.len() as u64);
+            self.telemetry.gauge("pool.workers", workers as i64);
+        }
+        let next = AtomicUsize::new(0);
+        // Each worker collects (index, result) pairs; merging by index
+        // afterwards keeps the output independent of scheduling.
+        let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let started = std::time::Instant::now();
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        let out = catch_unwind(AssertUnwindSafe(|| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            if self.telemetry.enabled() {
+                                self.telemetry
+                                    .record("pool.queue_depth", (items.len() - i) as u64);
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }));
+                        if self.telemetry.enabled() {
+                            let busy = started.elapsed().as_nanos();
+                            self.telemetry.record(
+                                "pool.worker_busy_ns",
+                                u64::try_from(busy).unwrap_or(u64::MAX),
+                            );
+                        }
+                        out.map(|()| local)
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join().expect("pool worker thread never aborts") {
+                    Ok(local) => parts.push(local),
+                    Err(p) => panic = Some(p),
+                }
+            }
+        });
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        for part in parts {
+            for (i, r) in part {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Runs two independent closures, in parallel when the pool is.
+    /// Returns `(a(), b())`.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.jobs <= 1 {
+            return (a(), b());
+        }
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut rb: Option<RB> = None;
+        let ra = std::thread::scope(|s| {
+            let hb = s.spawn(|| catch_unwind(AssertUnwindSafe(b)));
+            let ra = catch_unwind(AssertUnwindSafe(a));
+            match hb.join().expect("pool worker thread never aborts") {
+                Ok(v) => rb = Some(v),
+                Err(p) => panic = Some(p),
+            }
+            ra
+        });
+        // `a`'s panic wins (it is what a sequential run would hit first).
+        match ra {
+            Ok(ra) => {
+                if let Some(p) = panic {
+                    resume_unwind(p);
+                }
+                (ra, rb.expect("b completed without panicking"))
+            }
+            Err(p) => resume_unwind(p),
+        }
+    }
+}
+
+/// The auto worker count: [`JOBS_ENV`] if parseable and positive,
+/// otherwise available parallelism, otherwise 1.
+fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_input_order() {
+        for jobs in [1, 2, 4, 8] {
+            let pool = Pool::new(jobs);
+            let items: Vec<u64> = (0..257).collect();
+            let out = pool.map(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_skew() {
+        // Wildly uneven task costs must not affect result order.
+        let items: Vec<u64> = (0..64).collect();
+        let work = |_: usize, &x: &u64| {
+            let mut acc = x;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        };
+        let seq = Pool::sequential().map(&items, work);
+        let par = Pool::new(8).map(&items, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let out = Pool::new(3).map(&items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = Pool::new(4);
+        assert!(pool.map(&[] as &[u8], |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_jobs_means_auto() {
+        assert!(Pool::new(0).jobs() >= 1);
+        assert!(Pool::auto().jobs() >= 1);
+        assert_eq!(Pool::sequential().jobs(), 1);
+        assert!(!Pool::sequential().is_parallel());
+        assert!(Pool::new(2).is_parallel());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for jobs in [1, 4] {
+            let pool = Pool::new(jobs);
+            let (a, b) = pool.join(|| 2 + 2, || "ok".to_owned());
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn map_propagates_worker_panics() {
+        let items: Vec<u32> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).map(&items, |_, &x| {
+                if x == 17 {
+                    panic!("boom on 17");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_side() {
+        let r = std::panic::catch_unwind(|| Pool::new(2).join(|| panic!("left"), || 1));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| Pool::new(2).join(|| 1, || panic!("right")));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn telemetry_counts_batches_and_tasks() {
+        use tracelens_obs::CollectingSink;
+        let (t, sink) = CollectingSink::telemetry();
+        let pool = Pool::new(2).with_telemetry(t);
+        let _ = pool.map(&[1, 2, 3, 4], |_, &x: &i32| x);
+        let report = sink.report();
+        let json = report.to_json();
+        assert!(json.contains("pool.tasks"), "{json}");
+        assert!(json.contains("pool.worker_busy_ns"), "{json}");
+    }
+}

@@ -91,7 +91,7 @@ pub fn run_script(text: &str) -> Result<Dataset, ScriptError> {
         })?;
         if !ds.scenarios.iter().any(|s| s.name == decl.scenario) {
             ds.scenarios
-                .push(Scenario::new(decl.scenario.clone(), decl.thresholds));
+                .push(Scenario::new(decl.scenario, decl.thresholds));
         }
         ds.instances.push(ScenarioInstance {
             trace: out.stream.id(),

@@ -33,9 +33,9 @@ fn main() {
         .mix(ScenarioMix::Only(vec!["BrowserTabCreate".into()]))
         .build();
     for i in &mut candidate.instances {
-        i.scenario = scenario.clone();
+        i.scenario = scenario;
     }
-    candidate.scenarios[0].name = scenario.clone();
+    candidate.scenarios[0].name = scenario;
 
     let regs = find_regressions(
         &baseline,

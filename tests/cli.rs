@@ -127,7 +127,7 @@ fn validate_reports_violations_and_sanitize_recovers() {
     let mut bad = ds.clone();
     bad.instances.push(ScenarioInstance {
         trace: TraceId(bad.streams.len() as u32 + 2),
-        scenario: bad.scenarios[0].name.clone(),
+        scenario: bad.scenarios[0].name,
         tid: ThreadId(1),
         t0: TimeNs(0),
         t1: TimeNs(1),

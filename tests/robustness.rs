@@ -17,7 +17,7 @@ fn dataset() -> Dataset {
 }
 
 fn scenario_names(ds: &Dataset) -> Vec<ScenarioName> {
-    ds.scenarios.iter().map(|s| s.name.clone()).collect()
+    ds.scenarios.iter().map(|s| s.name).collect()
 }
 
 fn bytes(ds: &Dataset) -> Vec<u8> {

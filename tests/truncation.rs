@@ -107,7 +107,7 @@ fn mid_wait_truncation_orphans_waits_and_analyses_survive() {
     // The sanitized study still runs end-to-end with finite metrics:
     // truncation is semantic corruption, not structural, so nothing is
     // quarantined and coverage stays full.
-    let names: Vec<ScenarioName> = cut.scenarios.iter().map(|s| s.name.clone()).collect();
+    let names: Vec<ScenarioName> = cut.scenarios.iter().map(|s| s.name).collect();
     let (study, report) = Study::run_sanitized(&cut, &StudyConfig::default(), &names);
     assert!(study.impact.ia_wait().is_finite());
     assert_eq!(report.quarantined_traces, 0);

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Offline CI gate: formatting, lints across the whole workspace, full
 # release build, and the complete test suite — including the robustness
-# proptests (tests/corruption.rs, tests/robustness.rs), which run as
-# part of the default test pass. No network access needed.
+# proptests (tests/corruption.rs, tests/robustness.rs,
+# tests/supervision.rs), which run as part of the default test pass,
+# plus end-to-end fail-operational and checkpoint/resume gates on the
+# CLI. No network access needed.
 set -eu
 
 cd "$(dirname "$0")"
@@ -31,5 +33,33 @@ echo "== exp_scaling smoke (~30s budget) =="
 TRACELENS_BENCH_OUT="$(mktemp)" \
     cargo run -q --release -p tracelens-bench --bin exp_scaling -- 120 2014 \
     > /dev/null
+
+echo "== fail-operational report (injected panics + slow units) =="
+# A report over a faulty analysis run must exit 0 and account for the
+# quarantined work in a non-empty Execution section.
+SUP_DIR="$(mktemp -d)"
+TL=target/release/tracelens
+"$TL" simulate -o "$SUP_DIR/ds.tlt" --traces 40 --seed 9 > /dev/null
+"$TL" report "$SUP_DIR/ds.tlt" \
+    --exec-faults seed=5,panic=0.3,slow=0.1,slow-ms=120 \
+    --unit-deadline-ms 60 \
+    -o "$SUP_DIR/faulted.md" 2> /dev/null
+grep -q '^## Execution$' "$SUP_DIR/faulted.md"
+grep -q 'quarantined' "$SUP_DIR/faulted.md"
+grep -q 'panic: injected fault' "$SUP_DIR/faulted.md"
+
+echo "== checkpoint kill-and-resume =="
+# A faulted, checkpointed run followed by a fault-free resume must be
+# byte-identical to a run that was never interrupted — even after a
+# torn write corrupts one checkpointed unit.
+"$TL" report "$SUP_DIR/ds.tlt" -o "$SUP_DIR/clean.md" 2> /dev/null
+"$TL" report "$SUP_DIR/ds.tlt" --checkpoint "$SUP_DIR/ckpt" \
+    --exec-faults seed=5,panic=0.4 -o /dev/null 2> /dev/null
+unit="$(ls "$SUP_DIR"/ckpt/unit-*.tlc | head -n 1)"
+head -c 20 "$unit" > "$unit.torn" && mv "$unit.torn" "$unit"
+"$TL" report "$SUP_DIR/ds.tlt" --checkpoint "$SUP_DIR/ckpt" \
+    -o "$SUP_DIR/resumed.md" 2> /dev/null
+cmp "$SUP_DIR/clean.md" "$SUP_DIR/resumed.md"
+rm -rf "$SUP_DIR"
 
 echo "CI OK"

@@ -1,8 +1,9 @@
-//! R1 — Robustness sweep: graceful degradation under trace corruption.
+//! R1/R2 — Robustness sweeps: graceful degradation under trace
+//! corruption (R1) and under analysis-stage execution faults (R2).
 //!
-//! Injects every fault kind at rate ε into a clean selected-scenario
-//! workload, sanitizes, and reruns the full study, reporting how the
-//! headline numbers degrade as corruption grows:
+//! **R1** injects every *data* fault kind at rate ε into a clean
+//! selected-scenario workload, sanitizes, and reruns the full study,
+//! reporting how the headline numbers degrade as corruption grows:
 //!
 //! * coverage — fraction of input instances surviving quarantine,
 //! * IA_wait — the §5.1 wait-impact headline, vs. the clean baseline,
@@ -11,16 +12,33 @@
 //!
 //! The ε = 0 row doubles as the no-op check: injection and sanitization
 //! must leave the data set byte-identical.
+//!
+//! **R2** leaves the data intact and instead makes the *analysis* fail:
+//! an [`ExecFaultPlan`] panics a deterministic ε-fraction of supervised
+//! work units. Every run must still complete (fail-operational), and
+//! the sweep reports unit completion rate, quarantined units, lost
+//! instances, and the IA_wait drift of the surviving work. The ε = 0
+//! row measures supervision overhead against the unsupervised pipeline
+//! (PR 3 baseline). Results land in `BENCH_robustness.json` (override
+//! with `TRACELENS_BENCH_OUT`).
 
 use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
 use tracelens::prelude::*;
 use tracelens_bench::{pct, row, rule, selected_names, BenchArgs};
 
 /// Fault rates swept, per fault kind.
 const RATES: [f64; 5] = [0.0, 0.001, 0.01, 0.05, 0.1];
 
+/// Unit panic rates swept by the R2 execution-fault sweep.
+const EXEC_RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.4];
+
 /// How many top patterns per scenario form the retention baseline.
 const TOP: usize = 10;
+
+/// Default JSON artifact path (repo root when run via `cargo run`).
+const DEFAULT_OUT: &str = "BENCH_robustness.json";
 
 fn dataset_bytes(ds: &Dataset) -> Vec<u8> {
     let mut buf = Vec::new();
@@ -124,5 +142,128 @@ fn main() {
     println!("fault kinds injected (each at rate ε): drop_unwaits, truncate_streams,");
     println!("duplicate_events, clock_skew, dangling_stacks, orphan_waits,");
     println!("dangling_instance_refs — see tracelens-faults for the corruption model.");
+
+    // ---- R2: execution faults — the data is fine, the analysis panics.
+    println!();
+    println!("== R2: execution-fault sweep — panic a fraction ε of work units ==\n");
+
+    // Supervision overhead on a clean run, best-of-3 each, against the
+    // unsupervised (PR 3) pipeline.
+    let best_of = |f: &dyn Fn()| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let plain_wall = best_of(&|| {
+        let _ = Study::run(&clean, &config, &names);
+    });
+    let supervised_wall = best_of(&|| {
+        let _ = Study::run_supervised(&clean, &config, &names).expect("clean supervised run");
+    });
+    let overhead = supervised_wall / plain_wall - 1.0;
+    eprintln!(
+        "clean run: plain {plain_wall:.3}s, supervised {supervised_wall:.3}s \
+         (overhead {:+.1}%)",
+        overhead * 100.0
+    );
+
+    let widths = [7, 7, 12, 11, 10, 9, 9];
+    row(
+        &[
+            "ε",
+            "units",
+            "quarantined",
+            "completion",
+            "lost inst",
+            "IA_wait",
+            "ΔIA_wait",
+        ],
+        &widths,
+    );
+    rule(&widths);
+
+    struct ExecSample {
+        rate: f64,
+        units: usize,
+        quarantined: usize,
+        completion: f64,
+        lost_instances: usize,
+        ia_wait: f64,
+    }
+    let mut exec_samples = Vec::new();
+    for eps in EXEC_RATES {
+        let cfg = StudyConfig {
+            exec_faults: Some(ExecFaultPlan::new(seed ^ 0xE4EC).with_panic_rate(eps)),
+            ..StudyConfig::default()
+        };
+        let study = Study::run_supervised_traced(&clean, &cfg, &names, &telemetry)
+            .expect("supervised study completes under execution faults");
+        let exec = &study.execution;
+        if eps == 0.0 {
+            assert!(exec.is_clean(), "ε=0 must quarantine nothing");
+        }
+        let ia = study.impact.ia_wait();
+        row(
+            &[
+                &format!("{eps}"),
+                &exec.units.to_string(),
+                &exec.quarantined().to_string(),
+                &pct(exec.completion_rate()),
+                &exec.lost_instances().to_string(),
+                &pct(ia),
+                &format!("{:+.1}pp", (ia - baseline_ia) * 100.0),
+            ],
+            &widths,
+        );
+        exec_samples.push(ExecSample {
+            rate: eps,
+            units: exec.units,
+            quarantined: exec.quarantined(),
+            completion: exec.completion_rate(),
+            lost_instances: exec.lost_instances(),
+            ia_wait: ia,
+        });
+    }
+
+    println!();
+    println!("every row completed a full study: panicking units are quarantined and");
+    println!("accounted for, never fatal — see tracelens-pool::supervised_map.");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"robustness_execution\",");
+    let _ = writeln!(json, "  \"traces\": {traces},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"instances\": {},", clean.instances.len());
+    let _ = writeln!(json, "  \"baseline_ia_wait\": {baseline_ia:.6},");
+    let _ = writeln!(json, "  \"plain_wall_s\": {plain_wall:.6},");
+    let _ = writeln!(json, "  \"supervised_wall_s\": {supervised_wall:.6},");
+    let _ = writeln!(json, "  \"supervision_overhead\": {overhead:.4},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, s) in exec_samples.iter().enumerate() {
+        let comma = if i + 1 < exec_samples.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"panic_rate\": {}, \"units\": {}, \"quarantined\": {}, \
+             \"completion_rate\": {:.4}, \"lost_instances\": {}, \
+             \"ia_wait\": {:.6} }}{comma}",
+            s.rate, s.units, s.quarantined, s.completion, s.lost_instances, s.ia_wait
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let out = std::env::var("TRACELENS_BENCH_OUT").unwrap_or_else(|_| DEFAULT_OUT.to_owned());
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+
     args.write_telemetry(sink.as_deref());
 }

@@ -55,7 +55,9 @@ pub use contrast::{
     mine_contrasts, mine_contrasts_pooled, mine_contrasts_traced, ContrastPattern, MiningStats,
 };
 pub use drilldown::{locate_pattern, PatternSite};
-pub use pipeline::{CausalityAnalysis, CausalityConfig, CausalityError, CausalityReport};
+pub use pipeline::{
+    AnalysisProbe, CausalityAnalysis, CausalityConfig, CausalityError, CausalityReport,
+};
 pub use regress::{find_regressions, Regression, RegressionConfig};
 pub use segments::{enumerate_meta_patterns, MetaPatternTable};
 pub use triage::Triage;

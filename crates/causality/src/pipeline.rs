@@ -174,12 +174,30 @@ impl CausalityReport {
     }
 }
 
+/// A hook run at the top of [`CausalityAnalysis::analyze`] with the
+/// scenario under analysis — the seam execution-fault injection uses to
+/// provoke panics *inside* the analyzer, so supervisor tests exercise a
+/// failure that genuinely originates in this crate.
+pub type AnalysisProbe = std::sync::Arc<dyn Fn(&ScenarioName) + Send + Sync>;
+
 /// The causality analysis driver.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CausalityAnalysis {
     config: CausalityConfig,
     telemetry: Telemetry,
     pool: Pool,
+    probe: Option<AnalysisProbe>,
+}
+
+impl std::fmt::Debug for CausalityAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CausalityAnalysis")
+            .field("config", &self.config)
+            .field("telemetry", &self.telemetry)
+            .field("pool", &self.pool)
+            .field("probe", &self.probe.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl Default for CausalityAnalysis {
@@ -196,6 +214,7 @@ impl CausalityAnalysis {
             config,
             telemetry: Telemetry::noop(),
             pool: Pool::sequential(),
+            probe: None,
         }
     }
 
@@ -213,6 +232,15 @@ impl CausalityAnalysis {
     /// instance order), so reports are identical to the sequential path.
     pub fn with_pool(mut self, pool: Pool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches an [`AnalysisProbe`], invoked at the top of every
+    /// [`CausalityAnalysis::analyze`] call. Used by execution-fault
+    /// injection; a probe that panics makes the analysis panic as if an
+    /// internal invariant had failed.
+    pub fn with_probe(mut self, probe: AnalysisProbe) -> Self {
+        self.probe = Some(probe);
         self
     }
 
@@ -234,6 +262,9 @@ impl CausalityAnalysis {
         dataset: &Dataset,
         scenario: &ScenarioName,
     ) -> Result<CausalityReport, CausalityError> {
+        if let Some(probe) = &self.probe {
+            probe(scenario);
+        }
         let split = {
             let _span = self.telemetry.span(stage::CLASSES);
             split_classes(dataset, scenario).ok_or(CausalityError::UnknownScenario(*scenario))?

@@ -11,6 +11,8 @@
 //! tracelens scenarios FILE
 //! tracelens locate    FILE --scenario NAME [--rank R] [--top N]
 //! tracelens report    FILE [-o REPORT.md] [--top N] [--jobs N]
+//!                     [--checkpoint DIR] [--unit-deadline-ms MS]
+//!                     [--max-retries N] [--exec-faults SPEC]
 //! tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]
 //! tracelens baselines FILE [--top N]
 //! ```
@@ -88,6 +90,8 @@ fn print_usage() {
          \x20 tracelens scenarios FILE\n\
          \x20 tracelens locate    FILE --scenario NAME [--rank R] [--top N]\n\
          \x20 tracelens report    FILE [-o REPORT.md] [--top N] [--jobs N]\n\
+         \x20                     [--checkpoint DIR] [--unit-deadline-ms MS]\n\
+         \x20                     [--max-retries N] [--exec-faults SPEC]\n\
          \x20 tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]\n\
          \x20 tracelens baselines FILE [--top N]\n\
          \n\
@@ -95,7 +99,13 @@ fn print_usage() {
          Commands reading FILE also accept --sanitize (repair/quarantine\n\
          corrupt input, report coverage) and --strict (violations are fatal).\n\
          Analysis commands (impact, causality, report) accept --jobs N\n\
-         (0 = TRACELENS_JOBS or all cores; results identical at any N)."
+         (0 = TRACELENS_JOBS or all cores; results identical at any N).\n\
+         `report` runs supervised: panicking or over-deadline work units\n\
+         are quarantined and listed in the report instead of aborting the\n\
+         study. --checkpoint DIR persists per-unit results for resume;\n\
+         --unit-deadline-ms sets a soft per-unit deadline (0 = none);\n\
+         --max-retries bounds re-runs of panicked units; --exec-faults\n\
+         `seed=S,panic=P,slow=Q[,slow-ms=MS]` injects faults for testing."
     );
 }
 
@@ -518,17 +528,67 @@ fn cmd_locate(args: &[String]) -> Result<(), String> {
 
 /// Renders the full Markdown study report.
 fn cmd_report(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["top", "jobs"])?;
+    let opts = Opts::parse(
+        args,
+        &[
+            "top",
+            "jobs",
+            "checkpoint",
+            "unit-deadline-ms",
+            "max-retries",
+            "exec-faults",
+        ],
+    )?;
     let path = opts.positional.first().ok_or("report requires FILE")?;
     let top: usize = opts.parsed("top", 3)?;
     let jobs: usize = opts.parsed("jobs", 0)?;
-    let ds = load(path, &opts)?;
-    let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
+    let deadline_ms: u64 = opts.parsed("unit-deadline-ms", 0)?;
+    let max_retries: usize = opts.parsed("max-retries", 1)?;
+    let exec_faults = opts
+        .value("exec-faults")
+        .map(ExecFaultPlan::parse)
+        .transpose()
+        .map_err(|e| e.to_string())?;
     let config = StudyConfig {
         jobs,
+        supervise: SupervisePolicy::from_knobs(deadline_ms, max_retries),
+        exec_faults,
+        checkpoint: opts.value("checkpoint").map(std::path::PathBuf::from),
         ..StudyConfig::default()
     };
-    let study = Study::run(&ds, &config, &names);
+    // With --sanitize the study itself runs the sanitize pass so the
+    // report carries the Coverage section and an empty survivor set
+    // surfaces as a typed error instead of an all-zero report.
+    let (ds, study) = if opts.has("sanitize") {
+        if opts.has("strict") {
+            return Err("--strict and --sanitize are mutually exclusive".to_owned());
+        }
+        let ds = read_dataset(path)?;
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
+        let (study, report) =
+            Study::run_sanitized_supervised(&ds, &config, &names).map_err(|e| e.to_string())?;
+        if report.is_clean() {
+            eprintln!("sanitize: input is clean");
+        } else {
+            eprintln!(
+                "sanitize: {} repairs, {} traces / {} instances quarantined \
+                 (instance coverage {:.1}%)",
+                report.repaired(),
+                report.quarantined_traces,
+                report.quarantined_instances,
+                report.instance_coverage() * 100.0
+            );
+        }
+        (ds, study)
+    } else {
+        let ds = load(path, &opts)?;
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
+        let study = Study::run_supervised(&ds, &config, &names).map_err(|e| e.to_string())?;
+        (ds, study)
+    };
+    if !study.execution.is_clean() {
+        eprintln!("{}", study.execution);
+    }
     let md = tracelens::render_markdown(
         &study,
         &ds,

@@ -37,11 +37,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod report;
 mod study;
 
+pub use checkpoint::Checkpoint;
 pub use report::{render_markdown, ReportOptions};
-pub use study::{Coverage, ScenarioStudy, Study, StudyConfig};
+pub use study::{
+    Coverage, ScenarioStudy, Study, StudyConfig, StudyError, CAUSALITY_STAGE, SCENARIO_STAGE,
+};
 
 pub use tracelens_baselines as baselines;
 pub use tracelens_causality as causality;
@@ -60,7 +64,9 @@ pub mod prelude {
         locate_pattern, CausalityAnalysis, CausalityConfig, CausalityError, CausalityReport,
         ContrastPattern, PatternSite, SignatureSetTuple, Triage,
     };
-    pub use tracelens_faults::{FaultInjector, FaultKind, FaultLog, ALL_FAULT_KINDS};
+    pub use tracelens_faults::{
+        ExecFault, ExecFaultPlan, FaultInjector, FaultKind, FaultLog, ALL_FAULT_KINDS,
+    };
     pub use tracelens_impact::{ImpactAnalyzer, ImpactReport};
     pub use tracelens_model::{
         ComponentFilter, Dataset, DatasetSummary, DriverType, DurationStats, SanitizeReport,
@@ -68,9 +74,9 @@ pub mod prelude {
         TraceStreamBuilder,
     };
     pub use tracelens_obs::{stage, CollectingSink, RunReport, Telemetry};
-    pub use tracelens_pool::Pool;
+    pub use tracelens_pool::{ExecutionReport, FailureReason, Pool, SupervisePolicy, UnitFailure};
     pub use tracelens_sim::{DatasetBuilder, Machine, ProgramBuilder, ScenarioMix};
     pub use tracelens_waitgraph::{StreamIndex, WaitGraph};
 
-    pub use crate::{Coverage, ScenarioStudy, Study, StudyConfig};
+    pub use crate::{Coverage, ScenarioStudy, Study, StudyConfig, StudyError};
 }

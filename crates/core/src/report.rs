@@ -57,6 +57,40 @@ pub fn render_markdown(study: &Study, dataset: &Dataset, opts: &ReportOptions) -
         );
     }
 
+    // Rendered only when something was quarantined: a clean supervised
+    // run (and any unsupervised run) produces byte-identical output, so
+    // supervision — like the pool — stays an execution detail. Counts
+    // that vary across checkpoint resume (retries, restored units) are
+    // deliberately absent; the failure list itself is deterministic.
+    let exec = &study.execution;
+    if !exec.failures.is_empty() {
+        let _ = writeln!(out, "## Execution\n");
+        let _ = writeln!(
+            out,
+            "Supervised execution **quarantined {} work unit{}** \
+             ({} scenario instance{} lost); all numbers below describe \
+             the work that completed.\n",
+            exec.quarantined(),
+            if exec.quarantined() == 1 { "" } else { "s" },
+            exec.lost_instances(),
+            if exec.lost_instances() == 1 { "" } else { "s" },
+        );
+        let _ = writeln!(out, "| unit | stage | scenario | reason | attempts |");
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for f in &exec.failures {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} |",
+                f.unit,
+                f.stage,
+                f.scenario.as_deref().unwrap_or("–"),
+                f.reason,
+                f.attempts
+            );
+        }
+        out.push('\n');
+    }
+
     let _ = writeln!(out, "## Impact analysis (all instances)\n");
     let _ = writeln!(out, "| metric | value |");
     let _ = writeln!(out, "|---|---|");

@@ -1,11 +1,22 @@
 //! The full-evaluation driver: the paper's workflow over one data set.
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 use tracelens_causality::{CausalityAnalysis, CausalityConfig, CausalityError, CausalityReport};
+use tracelens_faults::ExecFaultPlan;
 use tracelens_impact::{ImpactAnalyzer, ImpactReport};
 use tracelens_model::{ComponentFilter, Dataset, SanitizeReport, ScenarioName};
 use tracelens_obs::{stage, Telemetry};
-use tracelens_pool::Pool;
+use tracelens_pool::{ExecutionReport, Pool, SupervisePolicy, UnitMeta};
+
+/// Stage label of per-scenario supervised work units.
+pub const SCENARIO_STAGE: &str = "scenario";
+
+/// Stage label execution-fault plans are consulted with for faults
+/// armed inside the causality analyzer (via its analysis probe).
+pub const CAUSALITY_STAGE: &str = "causality";
 
 /// Configuration of a [`Study`].
 #[derive(Debug, Clone)]
@@ -19,6 +30,18 @@ pub struct StudyConfig {
     /// machine's available parallelism. Results are byte-identical at
     /// every setting.
     pub jobs: usize,
+    /// Supervision policy for [`Study::run_supervised`]: per-unit soft
+    /// deadline and panic-retry bound. Ignored by the unsupervised
+    /// entry points.
+    pub supervise: SupervisePolicy,
+    /// Deterministic execution-fault injection (testing/CI only): arms
+    /// panics and stalls inside supervised work units. `None` — the
+    /// default — injects nothing.
+    pub exec_faults: Option<ExecFaultPlan>,
+    /// Checkpoint directory for [`Study::run_supervised`]: completed
+    /// units are stored there and restored on re-runs over the same
+    /// inputs. `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -27,6 +50,62 @@ impl Default for StudyConfig {
             components: ComponentFilter::suffix(".sys"),
             causality: CausalityConfig::default(),
             jobs: 0,
+            supervise: SupervisePolicy::default(),
+            exec_faults: None,
+            checkpoint: None,
+        }
+    }
+}
+
+/// Failures of the supervised study entry points.
+///
+/// Note the asymmetry with [`tracelens_pool::UnitFailure`]: a failed
+/// *unit* degrades the study (it completes with an execution report);
+/// a [`StudyError`] means no meaningful study exists at all.
+#[derive(Debug)]
+pub enum StudyError {
+    /// Sanitization quarantined every scenario instance: there is
+    /// nothing left to analyze, and rendering an all-zero report would
+    /// misread as "analyzed and found nothing".
+    NoAnalyzableInstances {
+        /// Scenario instances in the (corrupt) input.
+        input_instances: usize,
+        /// Instances quarantined directly by sanitization (the rest
+        /// were lost with their quarantined traces).
+        quarantined_instances: usize,
+    },
+    /// The checkpoint directory could not be read or written.
+    Checkpoint {
+        /// The configured checkpoint directory.
+        dir: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::NoAnalyzableInstances {
+                input_instances,
+                quarantined_instances,
+            } => write!(
+                f,
+                "no analyzable instances: sanitization quarantined all {input_instances} \
+                 input instances ({quarantined_instances} directly, the rest with their traces)"
+            ),
+            StudyError::Checkpoint { dir, source } => {
+                write!(f, "checkpoint {} unusable: {source}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StudyError::Checkpoint { source, .. } => Some(source),
+            StudyError::NoAnalyzableInstances { .. } => None,
         }
     }
 }
@@ -68,6 +147,10 @@ pub struct Coverage {
     pub quarantined_instances: usize,
     /// Individual repairs sanitization applied to surviving data.
     pub repaired: usize,
+    /// Work units quarantined by *supervised execution* (panics, missed
+    /// deadlines) — the execution-layer counterpart of the sanitize
+    /// counts above. Always `0` for unsupervised runs.
+    pub failed_units: usize,
 }
 
 impl Coverage {
@@ -82,6 +165,7 @@ impl Coverage {
             quarantined_traces: 0,
             quarantined_instances: 0,
             repaired: 0,
+            failed_units: 0,
         }
     }
 
@@ -95,6 +179,7 @@ impl Coverage {
             quarantined_traces: report.quarantined_traces,
             quarantined_instances: report.quarantined_instances,
             repaired: report.repaired(),
+            failed_units: 0,
         }
     }
 
@@ -125,6 +210,9 @@ pub struct Study {
     /// How much of the input these results cover (full unless the study
     /// ran through [`Study::run_sanitized`] on corrupt input).
     pub coverage: Coverage,
+    /// What supervised execution completed and what it quarantined.
+    /// Empty (and clean) for the unsupervised entry points.
+    pub execution: ExecutionReport,
 }
 
 impl Study {
@@ -185,7 +273,232 @@ impl Study {
             impact,
             scenarios,
             coverage: Coverage::full(dataset),
+            execution: ExecutionReport::default(),
         }
+    }
+
+    /// [`Study::run`] under fail-operational supervision: every work
+    /// unit (per-stream global impact, per-scenario analysis) runs
+    /// isolated per [`StudyConfig::supervise`], so a panicking or
+    /// stalling unit is quarantined — recorded in
+    /// [`Study::execution`] — instead of aborting the study. With
+    /// [`StudyConfig::checkpoint`] set, completed units are persisted
+    /// and re-runs over the same inputs resume instead of recomputing.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Checkpoint`] if the checkpoint directory cannot be
+    /// used. Unit failures are *not* errors.
+    pub fn run_supervised(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+    ) -> Result<Study, StudyError> {
+        Study::run_supervised_traced(dataset, config, names, &Telemetry::noop())
+    }
+
+    /// [`Study::run_supervised`] with telemetry (see
+    /// [`Study::run_traced`]); supervision additionally reports
+    /// `supervisor.*` counters under a `supervise` span per batch.
+    pub fn run_supervised_traced(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+        telemetry: &Telemetry,
+    ) -> Result<Study, StudyError> {
+        let _span = telemetry.span(stage::STUDY);
+        let pool = Pool::new(config.jobs).with_telemetry(telemetry.clone());
+        let policy = &config.supervise;
+        let plan = config.exec_faults.filter(|p| p.is_armed());
+        let checkpoint = match &config.checkpoint {
+            Some(dir) => {
+                let _span = telemetry.span(stage::CHECKPOINT);
+                let fp = crate::checkpoint::fingerprint(dataset, config, names);
+                Some(
+                    crate::checkpoint::Checkpoint::open(dir, fp).map_err(|source| {
+                        StudyError::Checkpoint {
+                            dir: dir.clone(),
+                            source,
+                        }
+                    })?,
+                )
+            }
+            None => None,
+        };
+        let mut execution = ExecutionReport::default();
+
+        // Global impact: restore from the checkpoint when possible,
+        // otherwise run it supervised per stream. Only a run with no
+        // quarantined stream is stored — a partial impact report must
+        // be recomputed (and re-quarantined) on resume, never resumed
+        // as if it were complete.
+        let impact_probe = plan.map(|p| move |unit: &str| p.arm(stage::IMPACT, unit));
+        let analyzer_pooled = ImpactAnalyzer::new(config.components.clone())
+            .with_telemetry(telemetry.clone())
+            .with_pool(pool.clone());
+        let impact = match checkpoint.as_ref().and_then(|c| c.load_impact()) {
+            Some(saved) => {
+                execution.units += 1;
+                execution.completed += 1;
+                execution.restored += 1;
+                saved
+            }
+            None => {
+                let (impact, impact_exec) = analyzer_pooled.analyze_where_supervised(
+                    dataset,
+                    |_| true,
+                    policy,
+                    impact_probe.as_ref().map(|p| p as &(dyn Fn(&str) + Sync)),
+                );
+                if let Some(c) = &checkpoint {
+                    if impact_exec.failures.is_empty() {
+                        c.store_impact(&impact)
+                            .map_err(|source| StudyError::Checkpoint {
+                                dir: c.dir().to_path_buf(),
+                                source,
+                            })?;
+                    }
+                }
+                execution.absorb(impact_exec);
+                impact
+            }
+        };
+
+        // Per-scenario units: restored results short-circuit inside the
+        // supervised closure so unit indices (and therefore failure
+        // accounts) are identical with and without a warm checkpoint.
+        let restored = match &checkpoint {
+            Some(c) => {
+                let _span = telemetry.span(stage::CHECKPOINT);
+                c.load_units(names)
+            }
+            None => BTreeMap::new(),
+        };
+        let analyzer =
+            ImpactAnalyzer::new(config.components.clone()).with_telemetry(telemetry.clone());
+        let mut causality =
+            CausalityAnalysis::new(config.causality.clone()).with_telemetry(telemetry.clone());
+        if let Some(p) = plan {
+            causality = causality.with_probe(Arc::new(move |name: &ScenarioName| {
+                p.arm(CAUSALITY_STAGE, &format!("scenario:{name}"));
+            }));
+        }
+        if telemetry.enabled() {
+            telemetry.count("study.scenarios", names.len() as u64);
+        }
+        let mut per_scenario: BTreeMap<ScenarioName, usize> = BTreeMap::new();
+        for i in &dataset.instances {
+            *per_scenario.entry(i.scenario).or_insert(0) += 1;
+        }
+        let (results, mut scenario_exec) = pool.supervised_map(
+            names,
+            SCENARIO_STAGE,
+            policy,
+            |_, name| {
+                UnitMeta::labeled(format!("scenario:{name}"))
+                    .for_scenario(name.as_str())
+                    .carrying(per_scenario.get(name).copied().unwrap_or(0))
+            },
+            |i, name| {
+                if let Some(saved) = restored.get(&i) {
+                    return saved.clone();
+                }
+                if let Some(p) = plan {
+                    p.arm(SCENARIO_STAGE, &format!("scenario:{name}"));
+                }
+                let scenario_impact = analyzer.analyze_where(dataset, |i| i.scenario == *name);
+                let thresholds = dataset.scenario(name).map(|s| s.thresholds);
+                let slow_impact = match thresholds {
+                    Some(th) => analyzer.analyze_where(dataset, |i| {
+                        i.scenario == *name && th.classify(i.duration()) == Some(false)
+                    }),
+                    None => ImpactReport::default(),
+                };
+                ScenarioStudy {
+                    impact: scenario_impact,
+                    slow_impact,
+                    causality: causality.analyze(dataset, name),
+                }
+            },
+        );
+        scenario_exec.restored = restored.len();
+        let mut scenarios: BTreeMap<ScenarioName, ScenarioStudy> = BTreeMap::new();
+        for (idx, (name, result)) in names.iter().zip(results).enumerate() {
+            let Some(unit) = result else { continue };
+            if let Some(c) = &checkpoint {
+                if !restored.contains_key(&idx) {
+                    let _span = telemetry.span(stage::CHECKPOINT);
+                    c.store_unit(idx, name, &unit)
+                        .map_err(|source| StudyError::Checkpoint {
+                            dir: c.dir().to_path_buf(),
+                            source,
+                        })?;
+                }
+            }
+            scenarios.insert(*name, unit);
+        }
+        execution.absorb(scenario_exec);
+        let mut coverage = Coverage::full(dataset);
+        coverage.failed_units = execution.quarantined();
+        Ok(Study {
+            impact,
+            scenarios,
+            coverage,
+            execution,
+        })
+    }
+
+    /// [`Study::run_supervised`] with corruption tolerance: sanitize
+    /// first, then run the supervised study over the survivor.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::NoAnalyzableInstances`] when sanitization
+    /// quarantines every scenario instance of a non-empty input —
+    /// previously this fell through to an all-zero study that read as
+    /// "analyzed and found nothing". [`StudyError::Checkpoint`] as in
+    /// [`Study::run_supervised`].
+    pub fn run_sanitized_supervised(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+    ) -> Result<(Study, SanitizeReport), StudyError> {
+        Study::run_sanitized_supervised_traced(dataset, config, names, &Telemetry::noop())
+    }
+
+    /// [`Study::run_sanitized_supervised`] with telemetry.
+    pub fn run_sanitized_supervised_traced(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+        telemetry: &Telemetry,
+    ) -> Result<(Study, SanitizeReport), StudyError> {
+        let (clean, report) = {
+            let _span = telemetry.span(stage::SANITIZE);
+            dataset.sanitize()
+        };
+        if telemetry.enabled() {
+            telemetry.count("sanitize.repaired", report.repaired() as u64);
+            telemetry.count(
+                "sanitize.quarantined_traces",
+                report.quarantined_traces as u64,
+            );
+            telemetry.count(
+                "sanitize.quarantined_instances",
+                report.quarantined_instances as u64,
+            );
+        }
+        if clean.instances.is_empty() && report.input_instances > 0 {
+            return Err(StudyError::NoAnalyzableInstances {
+                input_instances: report.input_instances,
+                quarantined_instances: report.quarantined_instances,
+            });
+        }
+        let mut study = Study::run_supervised_traced(&clean, config, names, telemetry)?;
+        let failed_units = study.execution.quarantined();
+        study.coverage = Coverage::from_sanitize(&report);
+        study.coverage.failed_units = failed_units;
+        Ok((study, report))
     }
 
     /// Runs the study over all scenarios present in the data set.
@@ -292,6 +605,164 @@ mod tests {
         let plain = Study::run(&ds, &StudyConfig::default(), &names);
         assert_eq!(study.impact.instances, plain.impact.instances);
         assert_eq!(study.impact.d_scn, plain.impact.d_scn);
+    }
+
+    #[test]
+    fn supervised_clean_run_matches_unsupervised() {
+        let ds = DatasetBuilder::new(11)
+            .traces(16)
+            .mix(ScenarioMix::Selected)
+            .build();
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
+        let cfg = StudyConfig {
+            jobs: 2,
+            ..StudyConfig::default()
+        };
+        let plain = Study::run(&ds, &cfg, &names);
+        let supervised = Study::run_supervised(&ds, &cfg, &names).unwrap();
+        assert!(supervised.execution.is_clean());
+        assert_eq!(supervised.impact, plain.impact);
+        assert_eq!(supervised.coverage, plain.coverage);
+        assert_eq!(supervised.scenarios.len(), plain.scenarios.len());
+        for (name, a) in &plain.scenarios {
+            let b = &supervised.scenarios[name];
+            assert_eq!(a.impact, b.impact);
+            assert_eq!(a.slow_impact, b.slow_impact);
+            assert_eq!(a.causality, b.causality);
+        }
+    }
+
+    #[test]
+    fn supervised_run_quarantines_injected_faults() {
+        let ds = DatasetBuilder::new(12)
+            .traces(16)
+            .mix(ScenarioMix::Selected)
+            .build();
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
+        let cfg = StudyConfig {
+            jobs: 1,
+            exec_faults: Some(ExecFaultPlan::new(5).with_panic_rate(0.4)),
+            supervise: tracelens_pool::SupervisePolicy {
+                max_retries: 1,
+                ..Default::default()
+            },
+            ..StudyConfig::default()
+        };
+        let study = Study::run_supervised(&ds, &cfg, &names).unwrap();
+        assert!(
+            study.execution.quarantined() > 0,
+            "a 40% panic rate over {} scenarios + streams must hit something",
+            names.len()
+        );
+        assert_eq!(study.coverage.failed_units, study.execution.quarantined());
+        // Quarantined scenario units are absent from the results map.
+        let failed_scenarios = study
+            .execution
+            .failures
+            .iter()
+            .filter(|f| f.stage == SCENARIO_STAGE)
+            .count();
+        assert_eq!(study.scenarios.len(), names.len() - failed_scenarios);
+        // Every failure names a unit, a stage, and a panic reason.
+        for f in &study.execution.failures {
+            assert!(!f.unit.is_empty());
+            assert!(
+                f.attempts == 2,
+                "max_retries 1 → 2 attempts, got {}",
+                f.attempts
+            );
+            assert!(f.reason.to_string().contains("injected fault"));
+        }
+        // Determinism: an identical run (different job count) agrees.
+        let cfg4 = StudyConfig {
+            jobs: 4,
+            ..cfg.clone()
+        };
+        let again = Study::run_supervised(&ds, &cfg4, &names).unwrap();
+        assert_eq!(again.execution, study.execution);
+        assert_eq!(again.impact, study.impact);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let ds = DatasetBuilder::new(13)
+            .traces(12)
+            .mix(ScenarioMix::Selected)
+            .build();
+        let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
+        let dir = std::env::temp_dir().join("tracelens-study-checkpoint-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // First pass: faults quarantine some scenario units; their
+        // results are NOT checkpointed.
+        let faulted = StudyConfig {
+            jobs: 2,
+            exec_faults: Some(ExecFaultPlan::new(77).with_panic_rate(0.5)),
+            checkpoint: Some(dir.clone()),
+            ..StudyConfig::default()
+        };
+        let first = Study::run_supervised(&ds, &faulted, &names).unwrap();
+        assert!(first.execution.quarantined() > 0, "seed must hit something");
+        assert_eq!(first.execution.restored, 0);
+        // Second pass: same inputs, faults off — restores completed
+        // units, re-runs the quarantined ones, and must be
+        // byte-identical to a clean uninterrupted run.
+        let resumed_cfg = StudyConfig {
+            jobs: 2,
+            checkpoint: Some(dir.clone()),
+            ..StudyConfig::default()
+        };
+        let resumed = Study::run_supervised(&ds, &resumed_cfg, &names).unwrap();
+        assert!(resumed.execution.restored > 0, "nothing was restored");
+        assert!(resumed.execution.failures.is_empty());
+        let clean_cfg = StudyConfig {
+            jobs: 2,
+            ..StudyConfig::default()
+        };
+        let clean = Study::run(&ds, &clean_cfg, &names);
+        let opts = crate::ReportOptions::default();
+        assert_eq!(
+            crate::render_markdown(&resumed, &ds, &opts),
+            crate::render_markdown(&clean, &ds, &opts),
+            "resumed study must render byte-identical to a clean run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitized_supervised_returns_typed_error_when_nothing_survives() {
+        use tracelens_model::{ScenarioInstance, ThreadId, TimeNs, TraceId};
+        // A dataset whose every instance dangles: sanitize quarantines
+        // them all and the study must refuse with a typed error rather
+        // than report all-zero numbers.
+        let mut ds = DatasetBuilder::new(14).traces(2).build();
+        ds.instances.clear();
+        let scenario = ds.scenarios[0].name;
+        for k in 0..3u32 {
+            ds.instances.push(ScenarioInstance {
+                trace: TraceId(ds.streams.len() as u32 + 7 + k),
+                scenario,
+                tid: ThreadId(1),
+                t0: TimeNs(0),
+                t1: TimeNs(1),
+            });
+        }
+        let names = vec![scenario];
+        let err = Study::run_sanitized_supervised(&ds, &StudyConfig::default(), &names)
+            .expect_err("all instances quarantined must be a typed error");
+        match err {
+            StudyError::NoAnalyzableInstances {
+                input_instances,
+                quarantined_instances,
+            } => {
+                assert_eq!(input_instances, 3);
+                assert_eq!(quarantined_instances, 3);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // An empty input (no instances at all) is not an error: there
+        // was nothing to lose.
+        let empty = tracelens_model::Dataset::new();
+        assert!(Study::run_sanitized_supervised(&empty, &StudyConfig::default(), &[]).is_ok());
     }
 
     #[test]

@@ -28,6 +28,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exec;
+
+pub use exec::{ExecFault, ExecFaultParseError, ExecFaultPlan};
+
 use std::collections::BTreeMap;
 use tracelens_model::{
     Dataset, Event, EventKind, StackId, ThreadId, TimeNs, TraceId, TraceStream, SAMPLE_INTERVAL,

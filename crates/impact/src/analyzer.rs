@@ -6,7 +6,7 @@ use tracelens_model::{
     ComponentFilter, Dataset, FilterView, ProcessId, ScenarioInstance, ScenarioName, TimeNs,
     TraceId, TraceStream,
 };
-use tracelens_pool::Pool;
+use tracelens_pool::{ExecutionReport, Pool, SupervisePolicy, UnitMeta};
 use tracelens_waitgraph::{NodeKind, StreamIndex, WaitGraph};
 
 /// Impact analysis for one component selection (paper §3.2).
@@ -103,18 +103,93 @@ impl ImpactAnalyzer {
             .collect();
         let view = dataset.stacks.filter_view(&self.filter);
         let partials = self.pool.map(&tasks, |_, &(stream, instances)| {
-            let index = StreamIndex::new_traced(stream, &self.telemetry);
-            let mut partial = ImpactReport::default();
-            let mut intervals = Vec::new();
-            for instance in instances {
-                let graph = WaitGraph::build_traced(stream, &index, instance, &self.telemetry);
-                partial.absorb(&self.account_graph(&graph, &view, instance, &mut intervals));
-            }
-            (stream.id(), partial, intervals)
+            self.analyze_stream(stream, instances, &view)
         });
-        // Deterministic merge: partials arrive in stream order; interval
-        // unions are keyed per trace (and are order-independent anyway —
-        // `union_length` sorts).
+        self.merge_partials(partials.into_iter())
+    }
+
+    /// [`ImpactAnalyzer::analyze_where`] under supervision: each
+    /// per-stream task is one supervised work unit, so a panicking (or,
+    /// with a deadline configured, stalling) stream is quarantined —
+    /// excluded from the merged report — instead of aborting the whole
+    /// analysis. The returned [`ExecutionReport`] names every
+    /// quarantined stream and the instances lost with it.
+    ///
+    /// `probe` (when given) runs at the start of each unit with the
+    /// unit's label (`stream:<id>`) — the hook the execution-fault
+    /// injector arms, so injected panics genuinely originate inside the
+    /// analyzer's unit of work.
+    pub fn analyze_where_supervised<F>(
+        &self,
+        dataset: &Dataset,
+        keep: F,
+        policy: &SupervisePolicy,
+        probe: Option<&(dyn Fn(&str) + Sync)>,
+    ) -> (ImpactReport, ExecutionReport)
+    where
+        F: Fn(&ScenarioInstance) -> bool,
+    {
+        let _span = self.telemetry.span(tracelens_obs::stage::IMPACT);
+        let mut by_trace: HashMap<TraceId, Vec<&ScenarioInstance>> = HashMap::new();
+        for i in dataset.instances.iter().filter(|i| keep(i)) {
+            by_trace.entry(i.trace).or_default().push(i);
+        }
+        let tasks: Vec<(&TraceStream, &[&ScenarioInstance])> = dataset
+            .streams
+            .iter()
+            .filter_map(|s| {
+                by_trace
+                    .get(&s.id())
+                    .map(|instances| (s, instances.as_slice()))
+            })
+            .collect();
+        let view = dataset.stacks.filter_view(&self.filter);
+        let (partials, execution) = self.pool.supervised_map(
+            &tasks,
+            tracelens_obs::stage::IMPACT,
+            policy,
+            |_, &(stream, instances)| {
+                UnitMeta::labeled(format!("stream:{}", stream.id().0))
+                    .for_stream(stream.id().0)
+                    .carrying(instances.len())
+            },
+            |_, &(stream, instances)| {
+                if let Some(probe) = probe {
+                    probe(&format!("stream:{}", stream.id().0));
+                }
+                self.analyze_stream(stream, instances, &view)
+            },
+        );
+        let report = self.merge_partials(partials.into_iter().flatten());
+        (report, execution)
+    }
+
+    /// One per-stream task: index the stream, build each instance's Wait
+    /// Graph, and account it into a partial report plus its counted wait
+    /// intervals.
+    fn analyze_stream(
+        &self,
+        stream: &TraceStream,
+        instances: &[&ScenarioInstance],
+        view: &FilterView,
+    ) -> (TraceId, ImpactReport, Vec<(TimeNs, TimeNs)>) {
+        let index = StreamIndex::new_traced(stream, &self.telemetry);
+        let mut partial = ImpactReport::default();
+        let mut intervals = Vec::new();
+        for instance in instances {
+            let graph = WaitGraph::build_traced(stream, &index, instance, &self.telemetry);
+            partial.absorb(&self.account_graph(&graph, view, instance, &mut intervals));
+        }
+        (stream.id(), partial, intervals)
+    }
+
+    /// Deterministic merge: partials arrive in stream order; interval
+    /// unions are keyed per trace (and are order-independent anyway —
+    /// `union_length` sorts).
+    fn merge_partials(
+        &self,
+        partials: impl Iterator<Item = (TraceId, ImpactReport, Vec<(TimeNs, TimeNs)>)>,
+    ) -> ImpactReport {
         let mut intervals: BTreeMap<TraceId, Vec<(TimeNs, TimeNs)>> = BTreeMap::new();
         let mut report = ImpactReport::default();
         for (trace, partial, iv) in partials {
@@ -467,6 +542,51 @@ mod tests {
                 .with_pool(Pool::new(jobs))
                 .analyze(&ds);
             assert_eq!(parallel, sequential, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn supervised_analysis_quarantines_poisoned_streams() {
+        // Two streams; a probe poisons stream 1. The clean stream's
+        // numbers survive, the poisoned stream is accounted as lost.
+        let mut ds = fixture();
+        let drv = ds.stacks.intern_symbols(&["app!M", "fs.sys!Recv"]);
+        let mut b = TraceStreamBuilder::new(1);
+        b.push_wait(ThreadId(4), TimeNs(0), TimeNs::ZERO, drv);
+        b.push_unwait(ThreadId(5), ThreadId(4), TimeNs(25), drv);
+        ds.streams.push(b.finish().unwrap());
+        ds.instances.push(ScenarioInstance {
+            trace: TraceId(1),
+            scenario: ScenarioName::new("B"),
+            tid: ThreadId(4),
+            t0: TimeNs(0),
+            t1: TimeNs(30),
+        });
+        let an = ImpactAnalyzer::new(ComponentFilter::suffix(".sys"));
+        let policy = SupervisePolicy {
+            max_retries: 0,
+            ..SupervisePolicy::default()
+        };
+        let poison = |unit: &str| {
+            if unit == "stream:1" {
+                panic!("poisoned {unit}");
+            }
+        };
+        let full = an.analyze(&ds);
+        for jobs in [1, 4] {
+            let an =
+                ImpactAnalyzer::new(ComponentFilter::suffix(".sys")).with_pool(Pool::new(jobs));
+            let (r, exec) = an.analyze_where_supervised(&ds, |_| true, &policy, Some(&poison));
+            assert_eq!(exec.quarantined(), 1, "jobs={jobs}");
+            assert_eq!(exec.failures[0].unit, "stream:1");
+            assert_eq!(exec.failures[0].stream, Some(1));
+            assert_eq!(exec.lost_instances(), 1);
+            assert_eq!(r.instances, 1, "only stream 0's instance counted");
+            assert!(r.d_scn < full.d_scn);
+            // Without a probe the supervised path equals the plain one.
+            let (clean, clean_exec) = an.analyze_where_supervised(&ds, |_| true, &policy, None);
+            assert_eq!(clean, full);
+            assert!(clean_exec.is_clean());
         }
     }
 

@@ -81,6 +81,13 @@ pub mod stage {
     /// queue-depth and busy-time metrics. Not part of [`PIPELINE`]: the
     /// pool runs *inside* the other stages.
     pub const POOL: &str = "pool";
+    /// Supervised (fail-operational) execution: panic isolation,
+    /// retries, per-unit deadlines and quarantine accounting. Not part
+    /// of [`PIPELINE`]: supervision wraps the other stages.
+    pub const SUPERVISE: &str = "supervise";
+    /// Checkpoint save/restore of completed study units. Not part of
+    /// [`PIPELINE`]: it only runs when `--checkpoint` is given.
+    pub const CHECKPOINT: &str = "checkpoint";
 
     /// The pipeline stages every full analysis run reports, in order.
     pub const PIPELINE: &[&str] = &[
@@ -99,6 +106,8 @@ mod tests {
         names.push(stage::STUDY);
         names.push(stage::SANITIZE);
         names.push(stage::POOL);
+        names.push(stage::SUPERVISE);
+        names.push(stage::CHECKPOINT);
         let n = names.len();
         names.sort_unstable();
         names.dedup();

@@ -34,6 +34,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod supervise;
+
+pub use supervise::{ExecutionReport, FailureReason, SupervisePolicy, UnitFailure, UnitMeta};
+
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -109,6 +113,12 @@ impl Pool {
     /// The worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The telemetry handle this pool reports through (a noop handle
+    /// unless one was attached with [`Pool::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Whether this pool will actually spawn threads for multi-item

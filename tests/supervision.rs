@@ -1,0 +1,267 @@
+//! Fail-operational execution: a supervised study must complete under
+//! injected panics and deadline overruns, account for every quarantined
+//! unit, and stay deterministic — byte-identical markdown at every job
+//! count and across checkpoint/resume boundaries.
+
+use std::path::PathBuf;
+use tracelens::prelude::*;
+
+fn render(study: &Study, ds: &Dataset) -> String {
+    tracelens::render_markdown(study, ds, &tracelens::ReportOptions::default())
+}
+
+fn dataset(seed: u64, traces: usize) -> Dataset {
+    DatasetBuilder::new(seed)
+        .traces(traces)
+        .mix(ScenarioMix::Selected)
+        .build()
+}
+
+fn names_of(ds: &Dataset) -> Vec<ScenarioName> {
+    ds.scenarios.iter().map(|s| s.name).collect()
+}
+
+/// A scratch checkpoint directory, wiped before use so stale state from
+/// a previous (possibly crashed) test run cannot leak in.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tracelens-supervision-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn clean_supervised_run_is_byte_identical_to_unsupervised() {
+    let ds = dataset(61, 24);
+    let names = names_of(&ds);
+    let plain = Study::run(&ds, &StudyConfig::default(), &names);
+    let sup = Study::run_supervised(&ds, &StudyConfig::default(), &names)
+        .expect("clean supervised run succeeds");
+    assert!(sup.execution.is_clean());
+    assert_eq!(render(&plain, &ds), render(&sup, &ds));
+}
+
+#[test]
+fn faulted_study_completes_and_lists_every_quarantined_unit() {
+    let ds = dataset(62, 20);
+    let names = names_of(&ds);
+    let config = StudyConfig {
+        jobs: 1,
+        exec_faults: Some(ExecFaultPlan::new(19).with_panic_rate(0.35)),
+        ..StudyConfig::default()
+    };
+    let study = Study::run_supervised(&ds, &config, &names).expect("faulted run still completes");
+    let exec = &study.execution;
+    assert!(exec.quarantined() > 0, "fault plan must hit something");
+    let md = render(&study, &ds);
+    assert!(md.contains("## Execution"));
+    for f in &exec.failures {
+        assert!(
+            md.contains(&format!("| {} | {} |", f.unit, f.stage)),
+            "failure {f} missing from report"
+        );
+    }
+    // Determinism: the same fault plan at other job counts produces the
+    // same failures and byte-identical markdown.
+    for jobs in [2, 8] {
+        let par = Study::run_supervised(
+            &ds,
+            &StudyConfig {
+                jobs,
+                ..config.clone()
+            },
+            &names,
+        )
+        .expect("faulted parallel run completes");
+        assert_eq!(exec.failures, par.execution.failures, "jobs={jobs}");
+        assert_eq!(md, render(&par, &ds), "jobs={jobs}: markdown diverged");
+    }
+}
+
+#[test]
+fn slow_units_are_quarantined_by_the_soft_deadline() {
+    let ds = dataset(63, 6);
+    let names = names_of(&ds);
+    let config = StudyConfig {
+        jobs: 4,
+        supervise: SupervisePolicy::from_knobs(40, 1),
+        exec_faults: Some(
+            ExecFaultPlan::new(5)
+                .with_slow_rate(0.3)
+                .with_slow_for(std::time::Duration::from_millis(150)),
+        ),
+        ..StudyConfig::default()
+    };
+    let study = Study::run_supervised(&ds, &config, &names).expect("slow run completes");
+    let exec = &study.execution;
+    assert!(exec.quarantined() > 0, "slow faults must trip the deadline");
+    for f in &exec.failures {
+        assert!(
+            matches!(f.reason, FailureReason::DeadlineExceeded { .. }),
+            "expected deadline failure, got {f}"
+        );
+        assert_eq!(f.attempts, 1, "deadline overruns must not be retried");
+    }
+    // The rendered reason names the configured budget, never measured
+    // wall-clock time — required for byte-identical reruns.
+    assert!(render(&study, &ds).contains("exceeded soft deadline (40ms)"));
+}
+
+#[test]
+fn checkpoint_resume_is_byte_identical_to_an_uninterrupted_run() {
+    let ds = dataset(64, 18);
+    let names = names_of(&ds);
+    let clean = Study::run(&ds, &StudyConfig::default(), &names);
+    let clean_md = render(&clean, &ds);
+    let dir = scratch_dir("resume");
+
+    // First attempt: faults quarantine part of the study; survivors are
+    // checkpointed.
+    let faulted_cfg = StudyConfig {
+        jobs: 2,
+        exec_faults: Some(ExecFaultPlan::new(91).with_panic_rate(0.5)),
+        checkpoint: Some(dir.clone()),
+        ..StudyConfig::default()
+    };
+    let faulted = Study::run_supervised(&ds, &faulted_cfg, &names).expect("faulted run completes");
+    assert!(faulted.execution.quarantined() > 0);
+
+    // Resume with the faults gone: only the missing units re-run, and
+    // the result is byte-identical to a never-interrupted study at any
+    // job count.
+    for jobs in [1, 4] {
+        let resume_cfg = StudyConfig {
+            jobs,
+            checkpoint: Some(dir.clone()),
+            ..StudyConfig::default()
+        };
+        let resumed =
+            Study::run_supervised(&ds, &resume_cfg, &names).expect("resumed run completes");
+        assert!(resumed.execution.restored > 0, "resume must reuse units");
+        assert!(resumed.execution.is_clean());
+        assert_eq!(
+            clean_md,
+            render(&resumed, &ds),
+            "jobs={jobs}: resume diverged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_checkpoint_units_are_recomputed_not_trusted() {
+    let ds = dataset(65, 12);
+    let names = names_of(&ds);
+    let clean_md = render(&Study::run(&ds, &StudyConfig::default(), &names), &ds);
+    let dir = scratch_dir("torn");
+    let cfg = StudyConfig {
+        checkpoint: Some(dir.clone()),
+        ..StudyConfig::default()
+    };
+    Study::run_supervised(&ds, &cfg, &names).expect("checkpointed run completes");
+
+    // Simulate a torn write: truncate one unit file mid-record.
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("unit-"))
+        })
+        .expect("at least one unit checkpointed");
+    let text = std::fs::read_to_string(&victim).unwrap();
+    std::fs::write(&victim, &text[..text.len() / 2]).unwrap();
+
+    let resumed = Study::run_supervised(&ds, &cfg, &names).expect("resume tolerates torn unit");
+    assert!(resumed.execution.is_clean());
+    assert_eq!(
+        clean_md,
+        render(&resumed, &ds),
+        "torn unit must be recomputed"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_from_a_different_dataset_is_discarded() {
+    let ds_a = dataset(66, 10);
+    let ds_b = dataset(67, 10);
+    let dir = scratch_dir("fingerprint");
+    let cfg = StudyConfig {
+        checkpoint: Some(dir.clone()),
+        ..StudyConfig::default()
+    };
+    Study::run_supervised(&ds_a, &cfg, &names_of(&ds_a)).expect("first run");
+    // Same directory, different data set: nothing may be restored.
+    let names_b = names_of(&ds_b);
+    let clean_md = render(&Study::run(&ds_b, &StudyConfig::default(), &names_b), &ds_b);
+    let second = Study::run_supervised(&ds_b, &cfg, &names_b).expect("second run");
+    assert_eq!(second.execution.restored, 0, "stale checkpoint reused");
+    assert_eq!(clean_md, render(&second, &ds_b));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Random panic injection: the supervised study never aborts,
+        /// its markdown is byte-identical across job counts, and a
+        /// faulted-then-resumed study matches a clean run exactly.
+        #[test]
+        fn supervision_is_deterministic_under_random_faults(
+            seed in 0u64..500,
+            traces in 4usize..12,
+            jobs in 2usize..8,
+            panic_pct in 10u32..60,
+        ) {
+            let ds = dataset(seed, traces);
+            let names = names_of(&ds);
+            let plan = ExecFaultPlan::new(seed ^ 0x5EED)
+                .with_panic_rate(panic_pct as f64 / 100.0);
+
+            // Byte-identical faulted runs at jobs 1/2/8 and the sampled
+            // job count.
+            let faulted = |j: usize| {
+                let cfg = StudyConfig {
+                    jobs: j,
+                    exec_faults: Some(plan),
+                    ..StudyConfig::default()
+                };
+                let study = Study::run_supervised(&ds, &cfg, &names)
+                    .expect("supervised run never aborts");
+                render(&study, &ds)
+            };
+            let seq_md = faulted(1);
+            for j in [2, 8, jobs] {
+                prop_assert_eq!(&seq_md, &faulted(j), "faulted markdown diverged at jobs={}", j);
+            }
+
+            // Faulted + checkpoint, then fault-free resume: identical to
+            // a study that was never interrupted.
+            let clean_md = render(&Study::run(&ds, &StudyConfig::default(), &names), &ds);
+            let dir = scratch_dir(&format!("prop-{seed}-{traces}-{jobs}-{panic_pct}"));
+            let ckpt_cfg = StudyConfig {
+                jobs,
+                exec_faults: Some(plan),
+                checkpoint: Some(dir.clone()),
+                ..StudyConfig::default()
+            };
+            Study::run_supervised(&ds, &ckpt_cfg, &names).expect("faulted checkpointed run");
+            let resume_cfg = StudyConfig {
+                jobs: 1,
+                checkpoint: Some(dir.clone()),
+                ..StudyConfig::default()
+            };
+            let resumed = Study::run_supervised(&ds, &resume_cfg, &names)
+                .expect("resumed run");
+            let _ = std::fs::remove_dir_all(&dir);
+            prop_assert!(resumed.execution.is_clean());
+            prop_assert_eq!(&clean_md, &render(&resumed, &ds), "resume diverged from clean run");
+        }
+    }
+}

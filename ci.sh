@@ -62,4 +62,21 @@ head -c 20 "$unit" > "$unit.torn" && mv "$unit.torn" "$unit"
 cmp "$SUP_DIR/clean.md" "$SUP_DIR/resumed.md"
 rm -rf "$SUP_DIR"
 
+echo "== self-observation (self-report + overhead gate + trace export) =="
+# The pipeline must be able to analyze itself: a self-traced study over
+# a small corpus yields a non-empty impact report of the pipeline
+# (IA_wait present, worker streams visible), attaching a no-op
+# telemetry sink must stay within 2% of the disabled-telemetry run,
+# and the exported Chrome trace must be well-formed JSON.
+SELF_DIR="$(mktemp -d)"
+"$TL" self-report --traces 60 --seed 2014 --jobs 2 \
+    -o "$SELF_DIR/self.md" --trace-out "$SELF_DIR/trace.json" \
+    --overhead-gate 2
+grep -q 'IA_wait' "$SELF_DIR/self.md"
+grep -q 'worker-0' "$SELF_DIR/self.md"
+grep -q 'Dominant wait source' "$SELF_DIR/self.md"
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'empty trace'" \
+    "$SELF_DIR/trace.json"
+rm -rf "$SELF_DIR"
+
 echo "CI OK"

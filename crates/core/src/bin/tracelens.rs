@@ -13,6 +13,8 @@
 //! tracelens report    FILE [-o REPORT.md] [--top N] [--jobs N]
 //!                     [--checkpoint DIR] [--unit-deadline-ms MS]
 //!                     [--max-retries N] [--exec-faults SPEC]
+//! tracelens self-report [FILE] [--traces N] [--seed S] [--jobs N]
+//!                     [-o REPORT.md] [--trace-out TRACE.json] [--overhead-gate PCT]
 //! tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]
 //! tracelens baselines FILE [--top N]
 //! ```
@@ -65,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "scenarios" => cmd_scenarios(rest),
         "locate" => cmd_locate(rest),
         "report" => cmd_report(rest),
+        "self-report" => cmd_self_report(rest),
         "regress" => cmd_regress(rest),
         "baselines" => cmd_baselines(rest),
         "help" | "--help" | "-h" => {
@@ -92,6 +95,8 @@ fn print_usage() {
          \x20 tracelens report    FILE [-o REPORT.md] [--top N] [--jobs N]\n\
          \x20                     [--checkpoint DIR] [--unit-deadline-ms MS]\n\
          \x20                     [--max-retries N] [--exec-faults SPEC]\n\
+         \x20 tracelens self-report [FILE] [--traces N] [--seed S] [--jobs N]\n\
+         \x20                     [-o REPORT.md] [--trace-out TRACE.json] [--overhead-gate PCT]\n\
          \x20 tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]\n\
          \x20 tracelens baselines FILE [--top N]\n\
          \n\
@@ -603,6 +608,98 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             eprintln!("wrote {out_path}");
         }
         None => print!("{md}"),
+    }
+    Ok(())
+}
+
+/// Runs the study while self-tracing the pipeline, then turns the
+/// wait-graph/impact machinery on its own recording. With no FILE the
+/// input corpus is simulated (`--traces`/`--seed`), mirroring
+/// `simulate` + `report` in one step so CI can gate on it without a
+/// data set on disk.
+fn cmd_self_report(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["traces", "seed", "jobs", "trace-out", "overhead-gate"],
+    )?;
+    let jobs: usize = opts.parsed("jobs", 0)?;
+    let ds = match opts.positional.first() {
+        Some(path) => load(path, &opts)?,
+        None => {
+            let traces: usize = opts.parsed("traces", 200)?;
+            let seed: u64 = opts.parsed("seed", 2014)?;
+            DatasetBuilder::new(seed)
+                .traces(traces)
+                .mix(ScenarioMix::Selected)
+                .build()
+        }
+    };
+    let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
+    let config = StudyConfig {
+        jobs,
+        ..StudyConfig::default()
+    };
+
+    let (_study, recording) = Study::run_self_traced(&ds, &config, &names);
+    let sessions = vec![SelfTraceSession::new(format!("jobs={jobs}"), recording)];
+    let observation = SelfObservation::analyze(&sessions);
+    let md = observation.to_markdown();
+    match opts.value("o") {
+        Some(out_path) => {
+            std::fs::write(out_path, md).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            eprintln!("wrote {out_path}");
+        }
+        None => print!("{md}"),
+    }
+
+    if let Some(out_path) = opts.value("trace-out") {
+        let json = chrome_trace_json(&sessions);
+        std::fs::write(out_path, json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        eprintln!("wrote {out_path} (load in ui.perfetto.dev or chrome://tracing)");
+    }
+
+    if opts.value("overhead-gate").is_some() {
+        let gate_pct: f64 = opts.parsed("overhead-gate", 2.0)?;
+        // The gate compares disabled telemetry (`Telemetry::noop`, no
+        // sink) against an *attached but discarding* sink: the price of
+        // the plumbing itself, which must stay within the budget even
+        // though the instrumented build always carries it. Min-of-K
+        // wall times make the comparison robust to scheduler noise, and
+        // a small absolute slack keeps short runs from failing on
+        // timer granularity alone.
+        const RUNS: usize = 5;
+        const ABS_SLACK_NS: u64 = 2_000_000;
+        let time_run = |telemetry: &Telemetry| -> u64 {
+            (0..RUNS)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    let study = Study::run_traced(&ds, &config, &names, telemetry);
+                    let elapsed = start.elapsed().as_nanos() as u64;
+                    assert!(!study.scenarios.is_empty());
+                    elapsed
+                })
+                .min()
+                .unwrap_or(0)
+        };
+        let disabled_ns = time_run(&Telemetry::noop());
+        let attached = Telemetry::with_sink(std::sync::Arc::new(tracelens::obs::NoopSink));
+        let attached_ns = time_run(&attached);
+        let budget_ns = (disabled_ns as f64 * gate_pct / 100.0) as u64 + ABS_SLACK_NS;
+        let overhead_ns = attached_ns.saturating_sub(disabled_ns);
+        eprintln!(
+            "overhead-gate: disabled {:.3} ms, attached {:.3} ms, \
+             overhead {:.3} ms (budget {:.3} ms)",
+            disabled_ns as f64 / 1e6,
+            attached_ns as f64 / 1e6,
+            overhead_ns as f64 / 1e6,
+            budget_ns as f64 / 1e6,
+        );
+        if overhead_ns > budget_ns {
+            return Err(format!(
+                "telemetry overhead {overhead_ns} ns exceeds \
+                 {gate_pct}% gate ({budget_ns} ns)"
+            ));
+        }
     }
     Ok(())
 }

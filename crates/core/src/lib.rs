@@ -39,10 +39,12 @@
 
 pub mod checkpoint;
 pub mod report;
+pub mod selfreport;
 mod study;
 
 pub use checkpoint::Checkpoint;
 pub use report::{render_markdown, ReportOptions};
+pub use selfreport::SelfObservation;
 pub use study::{
     Coverage, ScenarioStudy, Study, StudyConfig, StudyError, CAUSALITY_STAGE, SCENARIO_STAGE,
 };
@@ -54,6 +56,7 @@ pub use tracelens_impact as impact;
 pub use tracelens_model as model;
 pub use tracelens_obs as obs;
 pub use tracelens_pool as pool;
+pub use tracelens_selftrace as selftrace;
 pub use tracelens_sim as sim;
 pub use tracelens_waitgraph as waitgraph;
 
@@ -75,8 +78,9 @@ pub mod prelude {
     };
     pub use tracelens_obs::{stage, CollectingSink, RunReport, Telemetry};
     pub use tracelens_pool::{ExecutionReport, FailureReason, Pool, SupervisePolicy, UnitFailure};
+    pub use tracelens_selftrace::{chrome_trace_json, SelfTraceSession, SelfTraceSink};
     pub use tracelens_sim::{DatasetBuilder, Machine, ProgramBuilder, ScenarioMix};
     pub use tracelens_waitgraph::{StreamIndex, WaitGraph};
 
-    pub use crate::{Coverage, ScenarioStudy, Study, StudyConfig, StudyError};
+    pub use crate::{Coverage, ScenarioStudy, SelfObservation, Study, StudyConfig, StudyError};
 }

@@ -277,6 +277,22 @@ impl Study {
         }
     }
 
+    /// [`Study::run`] while recording the pipeline's *own* execution as
+    /// an ETW-shaped self-trace: spans become synthetic callstacks, pool
+    /// joins and recorder lock contention become wait/unwait pairs, and
+    /// the returned recording lowers (via `tracelens_selftrace::lower`)
+    /// into a data set the impact/wait-graph analyses can consume — the
+    /// pipeline analyzing itself.
+    pub fn run_self_traced(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+    ) -> (Study, tracelens_selftrace::SelfTraceRecording) {
+        let sink = tracelens_selftrace::SelfTraceSink::new();
+        let study = Study::run_traced(dataset, config, names, &sink.telemetry());
+        (study, sink.recording())
+    }
+
     /// [`Study::run`] under fail-operational supervision: every work
     /// unit (per-stream global impact, per-scenario analysis) runs
     /// isolated per [`StudyConfig::supervise`], so a panicking or

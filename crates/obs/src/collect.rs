@@ -121,6 +121,23 @@ pub struct SpanReport {
     pub children: Vec<SpanReport>,
 }
 
+impl SpanReport {
+    /// Wall time spent in this span *exclusive* of its closed children
+    /// (saturating: a child that outlived its parent clamps to zero).
+    ///
+    /// Spans measure inclusive wall time, so summing a parent and its
+    /// children double-counts; attribution tables must use this.
+    pub fn exclusive_ns(&self) -> u64 {
+        let own = self.elapsed_ns.unwrap_or(0);
+        let children: u64 = self
+            .children
+            .iter()
+            .map(|c| c.elapsed_ns.unwrap_or(0))
+            .sum();
+        own.saturating_sub(children)
+    }
+}
+
 /// Everything one run recorded, ready to render.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
@@ -212,6 +229,9 @@ impl RunReport {
             }
             w.end_arr();
             w.u64(Some("sum"), h.sum);
+            w.u64(Some("p50"), h.percentile(0.50));
+            w.u64(Some("p95"), h.percentile(0.95));
+            w.u64(Some("p99"), h.percentile(0.99));
             w.end_obj();
         }
         w.end_obj();
@@ -264,14 +284,30 @@ impl RunReport {
             }
         }
         if !self.metrics.histograms.is_empty() {
-            out.push_str("\n## Histograms\n\n| histogram | n | mean |\n|---|---|---|\n");
+            out.push_str(
+                "\n## Histograms\n\n| histogram | n | mean | p50 | p95 | p99 |\n\
+                 |---|---|---|---|---|---|\n",
+            );
             for (name, h) in &self.metrics.histograms {
                 let n = h.n();
                 let mean = match h.sum.checked_div(n) {
                     Some(mean) => fmt_ns(mean),
                     None => "-".to_owned(),
                 };
-                let _ = writeln!(out, "| {name} | {n} | {mean} |");
+                let quantile = |q| {
+                    if n == 0 {
+                        "-".to_owned()
+                    } else {
+                        fmt_ns(h.percentile(q))
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "| {name} | {n} | {mean} | {} | {} | {} |",
+                    quantile(0.50),
+                    quantile(0.95),
+                    quantile(0.99)
+                );
             }
         }
         out
@@ -379,6 +415,54 @@ mod tests {
         ] {
             assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
         }
+    }
+
+    #[test]
+    fn nested_span_time_is_exclusive_not_double_counted() {
+        // Regression guard for telemetry double-accounting: the time a
+        // parent span reports must *include* its child exactly once, so
+        // exclusive_ns (parent minus children) stays non-negative and
+        // the exclusive parts sum back to the root's inclusive time.
+        let (t, sink) = CollectingSink::telemetry();
+        {
+            let _outer = t.span("outer");
+            std::hint::black_box((0..20_000).sum::<u64>());
+            {
+                let _inner = t.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            std::hint::black_box((0..20_000).sum::<u64>());
+        }
+        let report = sink.report();
+        let outer = &report.spans[0];
+        let inner = &outer.children[0];
+        let outer_ns = outer.elapsed_ns.unwrap();
+        let inner_ns = inner.elapsed_ns.unwrap();
+        assert!(outer_ns >= inner_ns, "inclusive parent covers child");
+        assert_eq!(outer.exclusive_ns(), outer_ns - inner_ns);
+        assert_eq!(
+            outer.exclusive_ns() + inner.exclusive_ns(),
+            outer_ns,
+            "exclusive times partition the root's inclusive time"
+        );
+    }
+
+    #[test]
+    fn reports_render_percentiles() {
+        let (t, sink) = CollectingSink::telemetry();
+        for v in [1_000_u64, 2_000, 500_000, 500_000_000] {
+            t.record("lat", v);
+        }
+        let report = sink.report();
+        let json = report.to_json();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let lat = v.get("histograms").unwrap().get("lat").unwrap();
+        for key in ["p50", "p95", "p99"] {
+            let q = lat.get(key).and_then(crate::json::Value::as_u64);
+            assert!(q.is_some_and(|q| q > 0), "missing {key} in {json}");
+        }
+        let md = report.to_markdown();
+        assert!(md.contains("| p50 | p95 | p99 |"), "{md}");
     }
 
     #[test]

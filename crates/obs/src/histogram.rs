@@ -93,6 +93,47 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) of the recorded values,
+    /// linearly interpolated within the winning bucket. See
+    /// [`percentile_from_buckets`] for the exact rules.
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_from_buckets(&self.bounds, &self.counts(), q)
+    }
+}
+
+/// Bucket-quantile estimation shared by [`Histogram`] and registry
+/// snapshots: walks the cumulative counts to the bucket holding the
+/// `q`-quantile observation and interpolates linearly between the
+/// bucket's edges (previous bound → own bound; the first bucket starts
+/// at zero).
+///
+/// Estimates are capped at the final bound: observations in the
+/// overflow bucket have no upper edge, so any quantile landing there
+/// reports the last bound itself. Returns 0 for an empty histogram;
+/// `q` is clamped to `[0, 1]`.
+pub fn percentile_from_buckets(bounds: &[u64], counts: &[u64], q: f64) -> u64 {
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return 0;
+    }
+    // 1-based rank of the quantile observation.
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if seen + c < rank {
+            seen += c;
+            continue;
+        }
+        let Some(&upper) = bounds.get(i) else {
+            // Overflow bucket: unbounded above, report the last edge.
+            return bounds.last().copied().unwrap_or(0);
+        };
+        let lower = if i == 0 { 0 } else { bounds[i - 1] };
+        let fraction = (rank - seen) as f64 / c as f64;
+        return lower + ((upper - lower) as f64 * fraction).round() as u64;
+    }
+    bounds.last().copied().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -132,6 +173,40 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_are_rejected() {
         Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[100, 200, 400]);
+        for v in [50, 150, 150, 150, 250, 250, 250, 250, 250, 300] {
+            h.record(v);
+        }
+        // n=10: p50 → rank 5, the first of six observations in
+        // (200, 400] → 200 + 400·(1/6) interpolated.
+        assert_eq!(h.percentile(0.5), 233);
+        // p10 → rank 1, in [0, 100].
+        assert_eq!(h.percentile(0.1), 100);
+        // p100 → rank 10, last in (200, 400].
+        assert_eq!(h.percentile(1.0), 400);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = Histogram::time();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentile_in_overflow_bucket_reports_last_bound() {
+        let h = Histogram::new(&[10, 20]);
+        h.record(5);
+        h.record(1_000_000);
+        h.record(2_000_000);
+        assert_eq!(h.percentile(0.99), 20);
+        // q is clamped, not rejected.
+        assert_eq!(h.percentile(7.0), 20);
+        assert_eq!(h.percentile(-1.0), 10);
     }
 
     #[test]

@@ -46,9 +46,23 @@ mod registry;
 mod telemetry;
 
 pub use collect::{CollectingSink, RunReport, SpanReport, REPORT_VERSION};
-pub use histogram::{Histogram, DEFAULT_TIME_BOUNDS_NS};
+pub use histogram::{percentile_from_buckets, Histogram, DEFAULT_TIME_BOUNDS_NS};
 pub use registry::{HistogramSnapshot, MetricsSnapshot, Registry};
-pub use telemetry::{NoopSink, SpanGuard, SpanId, Telemetry, TelemetrySink};
+pub use telemetry::{
+    NoopSink, SpanContext, SpanGuard, SpanId, Telemetry, TelemetrySink, WaitGuard,
+};
+
+/// Canonical names for the pipeline's *wait points* — places a thread
+/// blocks on another thread's progress. An event recorder turns these
+/// into ETW-shaped wait/unwait pairs; ordinary sinks ignore them.
+pub mod waitpoint {
+    /// The spawning thread blocking until every pool worker finishes
+    /// (one barrier wait per parallel batch; the last worker wakes it).
+    pub const POOL_JOIN: &str = "pool.join";
+    /// A recorder blocking on its own ingest lock (self-observation
+    /// overhead made visible instead of hidden).
+    pub const OBS_LOCK: &str = "obs.lock";
+}
 
 /// Canonical span names for the analysis pipeline's stages.
 ///

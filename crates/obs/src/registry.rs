@@ -47,6 +47,12 @@ impl HistogramSnapshot {
     pub fn n(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Estimated `q`-quantile of the frozen distribution; same rules as
+    /// [`Histogram::percentile`](crate::Histogram::percentile).
+    pub fn percentile(&self, q: f64) -> u64 {
+        crate::histogram::percentile_from_buckets(&self.bounds, &self.counts, q)
+    }
 }
 
 impl Registry {
@@ -188,6 +194,8 @@ mod tests {
         assert_eq!(h.bounds, vec![10, 20]);
         assert_eq!(h.counts, vec![0, 1, 1]);
         assert_eq!(h.n(), 2);
+        // Snapshot percentiles mirror the live histogram's.
+        assert_eq!(h.percentile(0.5), r.histogram("lat").percentile(0.5));
     }
 
     #[test]

@@ -26,10 +26,16 @@
 //!    no `'static` bounds, no allocation per item beyond the result.
 //!
 //! Telemetry: a pool built [`Pool::with_telemetry`] reports
-//! `pool.tasks` / `pool.batches` counters, a `pool.queue_depth`
-//! histogram (remaining items observed at each claim), and a
-//! `pool.worker_busy_ns` per-worker busy-time histogram, so stage
-//! timings can be split per worker in the run report.
+//! `pool.tasks` / `pool.batches` / `pool.steals` / `pool.parks`
+//! counters, a `pool.queue_depth` gauge and histogram (remaining items
+//! observed at each claim), a `pool.task_wait_ns` queue-wait histogram
+//! (ready-to-claim gaps per worker), and a `pool.worker_busy_ns`
+//! per-worker busy-time histogram, so stage timings can be split per
+//! worker in the run report. When the sink is an event recorder (the
+//! `selftrace` crate), each parallel batch additionally traces one
+//! `pool.join` barrier wait on the spawning thread, woken by the last
+//! worker to finish — the ETW-shaped wait/unwait edge the wait-graph
+//! meta-analysis pairs up.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,7 +47,7 @@ pub use supervise::{ExecutionReport, FailureReason, SupervisePolicy, UnitFailure
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use tracelens_obs::Telemetry;
+use tracelens_obs::{waitpoint, Telemetry};
 
 /// Environment variable overriding the default worker count, honored by
 /// [`Pool::auto`] (and therefore by every pipeline entry point that
@@ -152,33 +158,71 @@ impl Pool {
             self.telemetry.gauge("pool.workers", workers as i64);
         }
         let next = AtomicUsize::new(0);
+        // Self-tracing: the spawning thread blocks in exactly one
+        // barrier wait per batch; the worker whose countdown decrement
+        // reaches zero — the last to finish — emits the single matching
+        // wake. One pairable wait/unwait edge, no strays.
+        let spawner = self.telemetry.thread_token();
+        let remaining = AtomicUsize::new(workers);
+        let context = self.telemetry.propagation_context();
+        let join_wait = self.telemetry.wait(waitpoint::POOL_JOIN);
         // Each worker collects (index, result) pairs; merging by index
         // afterwards keeps the output independent of scheduling.
         let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         std::thread::scope(|s| {
+            let (next, remaining, f, telemetry) = (&next, &remaining, &f, &self.telemetry);
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
+                .map(|w| {
+                    // The fair-share chunk of worker `w` under static
+                    // partitioning; claims outside it are steals.
+                    let fair = (w * items.len() / workers, (w + 1) * items.len() / workers);
+                    s.spawn(move || {
+                        telemetry.bind_thread("worker", w as u32);
+                        let _cx =
+                            context.map(|cx| telemetry.span_with_parent(cx.name, Some(cx.id)));
                         let started = std::time::Instant::now();
                         let mut local: Vec<(usize, R)> = Vec::new();
-                        let out = catch_unwind(AssertUnwindSafe(|| loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= items.len() {
-                                break;
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            let mut ready = std::time::Instant::now();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= items.len() {
+                                    if telemetry.enabled() {
+                                        telemetry.count("pool.parks", 1);
+                                    }
+                                    break;
+                                }
+                                if telemetry.enabled() {
+                                    // Time between being ready for work
+                                    // and claiming it: queue wait.
+                                    let waited = ready.elapsed().as_nanos();
+                                    telemetry.record(
+                                        "pool.task_wait_ns",
+                                        u64::try_from(waited).unwrap_or(u64::MAX),
+                                    );
+                                    let depth = (items.len() - i) as u64;
+                                    telemetry.record("pool.queue_depth", depth);
+                                    telemetry.gauge("pool.queue_depth", depth as i64);
+                                    if i < fair.0 || i >= fair.1 {
+                                        telemetry.count("pool.steals", 1);
+                                    }
+                                }
+                                local.push((i, f(i, &items[i])));
+                                ready = std::time::Instant::now();
                             }
-                            if self.telemetry.enabled() {
-                                self.telemetry
-                                    .record("pool.queue_depth", (items.len() - i) as u64);
-                            }
-                            local.push((i, f(i, &items[i])));
                         }));
-                        if self.telemetry.enabled() {
+                        if telemetry.enabled() {
                             let busy = started.elapsed().as_nanos();
-                            self.telemetry.record(
+                            telemetry.record(
                                 "pool.worker_busy_ns",
                                 u64::try_from(busy).unwrap_or(u64::MAX),
                             );
+                        }
+                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            if let Some(token) = spawner {
+                                telemetry.wake(waitpoint::POOL_JOIN, token);
+                            }
                         }
                         out.map(|()| local)
                     })
@@ -191,6 +235,9 @@ impl Pool {
                 }
             }
         });
+        // The barrier wait ends here: merging results below is running
+        // time on the spawning thread, not blocked time.
+        drop(join_wait);
         if let Some(p) = panic {
             resume_unwind(p);
         }
@@ -363,5 +410,90 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("pool.tasks"), "{json}");
         assert!(json.contains("pool.worker_busy_ns"), "{json}");
+    }
+
+    #[test]
+    fn telemetry_reports_contention_metrics() {
+        use tracelens_obs::CollectingSink;
+        let (t, sink) = CollectingSink::telemetry();
+        let pool = Pool::new(3).with_telemetry(t);
+        let items: Vec<u64> = (0..50).collect();
+        let _ = pool.map(&items, |_, &x| x * 2);
+        let report = sink.report();
+        // Queue-wait time: one observation per claimed task.
+        let waits = &report.metrics.histograms["pool.task_wait_ns"];
+        assert_eq!(waits.n(), 50);
+        // Every worker parks exactly once, when the queue drains.
+        assert_eq!(report.metrics.counters["pool.parks"], 3);
+        // The queue-depth gauge saw the final claims.
+        assert!(report.metrics.gauges.contains_key("pool.queue_depth"));
+        // Self-scheduling off a shared counter: claims outside the
+        // static fair-share chunk are counted as steals (possibly zero
+        // on an unloaded machine, but the counter must exist).
+        let _ = report.metrics.counters.get("pool.steals");
+    }
+
+    /// Minimal recorder for the wait/wake protocol of `Pool::map`.
+    #[derive(Default)]
+    struct WaitLog {
+        events: std::sync::Mutex<Vec<String>>,
+    }
+
+    impl tracelens_obs::TelemetrySink for WaitLog {
+        fn span_enter(
+            &self,
+            _name: &'static str,
+            _parent: Option<tracelens_obs::SpanId>,
+        ) -> tracelens_obs::SpanId {
+            tracelens_obs::SpanId(0)
+        }
+        fn span_exit(&self, _id: tracelens_obs::SpanId, _elapsed_ns: u64) {}
+        fn counter_add(&self, _name: &'static str, _delta: u64) {}
+        fn gauge_set(&self, _name: &'static str, _value: i64) {}
+        fn histogram_record(&self, _name: &'static str, _value: u64) {}
+        fn thread_token(&self) -> Option<u64> {
+            Some(1)
+        }
+        fn wait_begin(&self, name: &'static str, _parent: Option<tracelens_obs::SpanId>) -> u64 {
+            self.events.lock().unwrap().push(format!("wait {name}"));
+            9
+        }
+        fn wait_end(&self, token: u64, _elapsed_ns: u64) {
+            self.events.lock().unwrap().push(format!("end {token}"));
+        }
+        fn wake(&self, name: &'static str, target: u64) {
+            self.events
+                .lock()
+                .unwrap()
+                .push(format!("wake {name} -> {target}"));
+        }
+    }
+
+    #[test]
+    fn parallel_batch_traces_one_join_wait_and_one_wake() {
+        let sink = std::sync::Arc::new(WaitLog::default());
+        let t = Telemetry::with_sink(
+            std::sync::Arc::clone(&sink) as std::sync::Arc<dyn tracelens_obs::TelemetrySink>
+        );
+        let pool = Pool::new(4).with_telemetry(t);
+        let items: Vec<u64> = (0..32).collect();
+        let _ = pool.map(&items, |_, &x| x + 1);
+        let events = sink.events.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec!["wait pool.join", "wake pool.join -> 1", "end 9"],
+            "exactly one barrier wait, woken once by the last worker"
+        );
+    }
+
+    #[test]
+    fn sequential_batch_traces_no_waits() {
+        let sink = std::sync::Arc::new(WaitLog::default());
+        let t = Telemetry::with_sink(
+            std::sync::Arc::clone(&sink) as std::sync::Arc<dyn tracelens_obs::TelemetrySink>
+        );
+        let pool = Pool::sequential().with_telemetry(t);
+        let _ = pool.map(&[1u8, 2, 3], |_, &x| x);
+        assert!(sink.events.lock().unwrap().is_empty());
     }
 }

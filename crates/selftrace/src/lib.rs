@@ -1,0 +1,65 @@
+//! # tracelens-selftrace — the pipeline observing itself
+//!
+//! The paper's method explains performance from ETW-shaped execution
+//! traces: running intervals, wait/unwait pairs, and the wait graphs
+//! they induce. This crate closes the loop by recording the *analysis
+//! pipeline's own execution* in exactly that shape, so the existing
+//! waitgraph → impact → causality stack can be pointed at itself.
+//!
+//! Three layers:
+//!
+//! * [`SelfTraceSink`] — a [`TelemetrySink`](tracelens_obs::TelemetrySink)
+//!   that records every span enter/exit, wait begin/end, wake edge,
+//!   counter and gauge update as a timestamped event, with stable
+//!   virtual thread ids (main = 1, pool worker *w* = 2 + *w*). Its own
+//!   ingest-lock contention is measured and recorded as `obs.lock`
+//!   wait events rather than hidden.
+//! * [`lower`] — turns recorded sessions into a
+//!   [`Dataset`](tracelens_model::Dataset): one trace stream per
+//!   session, per-thread non-overlapping running segments attributed to
+//!   synthetic callstacks built from the open-span chain
+//!   (`impact.tl!impact` under `core.tl!study` under `runtime!main`),
+//!   wait events with their measured durations, and unwait edges for
+//!   every wake — so `Dataset::validate` passes and the wait-graph
+//!   pairing rules apply unchanged.
+//! * [`chrome_trace_json`] — exports the same sessions as Chrome
+//!   trace-event JSON (`chrome://tracing` / Perfetto): `B`/`E` span
+//!   pairs, waits as spans in their own category, counters as counter
+//!   tracks, and `s`/`f` flow events for unwait wakeups.
+//!
+//! Synthetic frame modules end in `.tl` (`pool.tl`, `impact.tl`, …), so
+//! `ComponentFilter::suffix(".tl")` plays the role `*.sys` plays in the
+//! paper's driver study: "the components under scrutiny" are the
+//! pipeline's own crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod lower;
+mod recorder;
+
+pub use chrome::chrome_trace_json;
+pub use lower::{lower, Lowered, SessionStats, SELF_SCENARIO};
+pub use recorder::{RawEvent, SelfTraceRecording, SelfTraceSink, MAIN_VTID, SCHEDULER_VTID};
+
+/// One labeled recording of a pipeline run, the unit both the lowering
+/// and the Chrome export consume.
+#[derive(Debug, Clone)]
+pub struct SelfTraceSession {
+    /// Human-readable label (e.g. `jobs=4`); becomes the Chrome process
+    /// name and the session's identity in reports.
+    pub label: String,
+    /// The recorded events and aggregate stats.
+    pub recording: SelfTraceRecording,
+}
+
+impl SelfTraceSession {
+    /// Bundles a recording under a label.
+    pub fn new(label: impl Into<String>, recording: SelfTraceRecording) -> Self {
+        SelfTraceSession {
+            label: label.into(),
+            recording,
+        }
+    }
+}

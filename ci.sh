@@ -79,4 +79,48 @@ python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEven
     "$SELF_DIR/trace.json"
 rm -rf "$SELF_DIR"
 
+echo "== resource governance (overload under a 1 MiB budget) =="
+# An overloaded study — estimates inflated 64x against a tight budget —
+# must exit 0 under both over-budget policies with a non-empty governed
+# report, and the two policies must leave their distinct fingerprints:
+# degrade keeps every scenario on a bounded slice, shed quarantines
+# over-budget units as typed failures.
+GOV_DIR="$(mktemp -d)"
+"$TL" simulate -o "$GOV_DIR/ds.tlt" --traces 40 --seed 9 > /dev/null
+"$TL" report "$GOV_DIR/ds.tlt" \
+    --memory-budget-mb 1 --degrade --mem-faults seed=3,rate=0.5,factor=64 \
+    -o "$GOV_DIR/degraded.md" 2> /dev/null
+test -s "$GOV_DIR/degraded.md"
+grep -q 'Resource governance:' "$GOV_DIR/degraded.md"
+grep -q 'degraded' "$GOV_DIR/degraded.md"
+"$TL" report "$GOV_DIR/ds.tlt" \
+    --memory-budget-mb 1 --shed --mem-faults seed=3,rate=0.5,factor=64 \
+    -o "$GOV_DIR/shed.md" 2> /dev/null
+grep -q 'over budget' "$GOV_DIR/shed.md"
+# An unlimited budget must be byte-identical to no governance at all.
+"$TL" report "$GOV_DIR/ds.tlt" -o "$GOV_DIR/plain.md" 2> /dev/null
+"$TL" report "$GOV_DIR/ds.tlt" --memory-budget-mb 0 \
+    -o "$GOV_DIR/gov0.md" 2> /dev/null
+cmp "$GOV_DIR/plain.md" "$GOV_DIR/gov0.md"
+rm -rf "$GOV_DIR"
+
+echo "== governance overhead gate (< 5%) =="
+# The R3 experiment measures cost estimation + admission bookkeeping on
+# a budget that never binds, against the plain supervised run; the
+# overhead must stay under 5%.
+GOV_JSON="$(mktemp)"
+TRACELENS_BENCH_OUT="$GOV_JSON" \
+    cargo run -q --release -p tracelens-bench --bin exp_governance \
+    > /dev/null 2>&1
+python3 -c "
+import json, sys
+j = json.load(open(sys.argv[1]))
+oh = j['governance_overhead']
+assert oh < 0.05, f'governance overhead {oh:.1%} exceeds the 5% budget'
+for r in j['runs']:
+    total = r['admitted'] + r['queued'] + r['degraded'] + r['shed']
+    assert total == j['runs'][0]['admitted'], f'unit lost in run {r}'
+" "$GOV_JSON"
+rm -f "$GOV_JSON"
+
 echo "CI OK"

@@ -13,6 +13,8 @@
 //! tracelens report    FILE [-o REPORT.md] [--top N] [--jobs N]
 //!                     [--checkpoint DIR] [--unit-deadline-ms MS]
 //!                     [--max-retries N] [--exec-faults SPEC]
+//!                     [--memory-budget-mb N] [--degrade|--shed]
+//!                     [--mem-faults SPEC]
 //! tracelens self-report [FILE] [--traces N] [--seed S] [--jobs N]
 //!                     [-o REPORT.md] [--trace-out TRACE.json] [--overhead-gate PCT]
 //! tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]
@@ -34,7 +36,7 @@
 //! every setting.
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::process::ExitCode;
 use tracelens::causality::{split_classes, CausalityAnalysis, CausalityConfig};
 use tracelens::prelude::*;
@@ -95,6 +97,8 @@ fn print_usage() {
          \x20 tracelens report    FILE [-o REPORT.md] [--top N] [--jobs N]\n\
          \x20                     [--checkpoint DIR] [--unit-deadline-ms MS]\n\
          \x20                     [--max-retries N] [--exec-faults SPEC]\n\
+         \x20                     [--memory-budget-mb N] [--degrade|--shed]\n\
+         \x20                     [--mem-faults SPEC]\n\
          \x20 tracelens self-report [FILE] [--traces N] [--seed S] [--jobs N]\n\
          \x20                     [-o REPORT.md] [--trace-out TRACE.json] [--overhead-gate PCT]\n\
          \x20 tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]\n\
@@ -110,7 +114,14 @@ fn print_usage() {
          study. --checkpoint DIR persists per-unit results for resume;\n\
          --unit-deadline-ms sets a soft per-unit deadline (0 = none);\n\
          --max-retries bounds re-runs of panicked units; --exec-faults\n\
-         `seed=S,panic=P,slow=Q[,slow-ms=MS]` injects faults for testing."
+         `seed=S,panic=P,slow=Q[,slow-ms=MS]` injects faults for testing.\n\
+         `report` also runs memory-governed: --memory-budget-mb N admits\n\
+         per-scenario units against an N-MiB live-bytes budget (0 = off);\n\
+         over-budget units are shed (--shed, the default) or run on a\n\
+         bounded input slice (--degrade), and every decision lands in the\n\
+         report. --mem-faults `seed=S,rate=R,factor=F` inflates cost\n\
+         estimates to stage overload for testing. File ingestion retries\n\
+         transient i/o errors with bounded exponential backoff."
     );
 }
 
@@ -168,13 +179,17 @@ impl Opts {
     }
 }
 
-fn read_dataset(path: &str) -> Result<Dataset, String> {
+/// Reads a data set, retrying transient I/O errors (interrupted or
+/// timed-out reads) with bounded exponential backoff. Returns the data
+/// set and how many retries were needed (usually zero); callers running
+/// sanitization surface the count through `SanitizeReport::io_retries`.
+fn read_dataset(path: &str) -> Result<(Dataset, usize), String> {
     let read: Box<dyn Read> = if path == "-" {
         Box::new(io::stdin())
     } else {
         Box::new(File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?)
     };
-    Dataset::read_text(BufReader::new(read)).map_err(|e| e.to_string())
+    Dataset::read_text_retrying(read, RetryPolicy::default()).map_err(|e| e.to_string())
 }
 
 /// Loads `path` honoring the shared corruption-handling flags:
@@ -188,9 +203,13 @@ fn load(path: &str, opts: &Opts) -> Result<Dataset, String> {
     if opts.has("strict") && opts.has("sanitize") {
         return Err("--strict and --sanitize are mutually exclusive".to_owned());
     }
-    let ds = read_dataset(path)?;
+    let (ds, io_retries) = read_dataset(path)?;
+    if io_retries > 0 {
+        eprintln!("ingest: absorbed {io_retries} transient i/o error(s) while reading {path}");
+    }
     if opts.has("sanitize") {
-        let (clean, report) = ds.sanitize();
+        let (clean, mut report) = ds.sanitize();
+        report.io_retries = io_retries;
         if report.is_clean() {
             eprintln!("sanitize: input is clean");
         } else {
@@ -220,10 +239,11 @@ fn load(path: &str, opts: &Opts) -> Result<Dataset, String> {
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &[])?;
     let path = opts.positional.first().ok_or("validate requires FILE")?;
-    let ds = read_dataset(path)?;
+    let (ds, io_retries) = read_dataset(path)?;
     let verdict = ds.validate();
     if opts.has("sanitize") {
-        let (_, report) = ds.sanitize();
+        let (_, mut report) = ds.sanitize();
+        report.io_retries = io_retries;
         print!("{report}");
         println!();
     }
@@ -542,6 +562,8 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             "unit-deadline-ms",
             "max-retries",
             "exec-faults",
+            "memory-budget-mb",
+            "mem-faults",
         ],
     )?;
     let path = opts.positional.first().ok_or("report requires FILE")?;
@@ -554,11 +576,26 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         .map(ExecFaultPlan::parse)
         .transpose()
         .map_err(|e| e.to_string())?;
+    if opts.has("degrade") && opts.has("shed") {
+        return Err("--degrade and --shed are mutually exclusive".to_owned());
+    }
+    let budget_mb: u64 = opts.parsed("memory-budget-mb", 0)?;
+    let mut govern = GovernPolicy::with_budget_mb(budget_mb);
+    if opts.has("degrade") {
+        govern = govern.on_over_budget(OverBudgetAction::Degrade);
+    }
+    let mem_faults = opts
+        .value("mem-faults")
+        .map(MemFaultPlan::parse)
+        .transpose()
+        .map_err(|e| e.to_string())?;
     let config = StudyConfig {
         jobs,
         supervise: SupervisePolicy::from_knobs(deadline_ms, max_retries),
         exec_faults,
         checkpoint: opts.value("checkpoint").map(std::path::PathBuf::from),
+        govern,
+        mem_faults,
         ..StudyConfig::default()
     };
     // With --sanitize the study itself runs the sanitize pass so the
@@ -568,10 +605,14 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         if opts.has("strict") {
             return Err("--strict and --sanitize are mutually exclusive".to_owned());
         }
-        let ds = read_dataset(path)?;
+        let (ds, io_retries) = read_dataset(path)?;
         let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
-        let (study, report) =
+        let (study, mut report) =
             Study::run_sanitized_supervised(&ds, &config, &names).map_err(|e| e.to_string())?;
+        report.io_retries = io_retries;
+        if io_retries > 0 {
+            eprintln!("ingest: absorbed {io_retries} transient i/o error(s) while reading {path}");
+        }
         if report.is_clean() {
             eprintln!("sanitize: input is clean");
         } else {
@@ -588,9 +629,12 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     } else {
         let ds = load(path, &opts)?;
         let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
-        let study = Study::run_supervised(&ds, &config, &names).map_err(|e| e.to_string())?;
+        let study = Study::run_governed(&ds, &config, &names).map_err(|e| e.to_string())?;
         (ds, study)
     };
+    if study.governance.is_governed() {
+        eprintln!("{}", study.governance);
+    }
     if !study.execution.is_clean() {
         eprintln!("{}", study.execution);
     }

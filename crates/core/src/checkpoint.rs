@@ -166,12 +166,27 @@ pub fn fingerprint(dataset: &Dataset, config: &StudyConfig, names: &[ScenarioNam
     // write_text to an in-memory hasher cannot fail.
     let _ = dataset.write_text(&mut hasher);
     let mut trailer = format!(
-        "|components {:?}|causality {:?} {} {}|names",
+        "|components {:?}|causality {:?} {} {}",
         config.components,
         config.causality.components,
         config.causality.segment_bound,
         config.causality.reduce
     );
+    // Governance changes what a unit computes (degraded slices, sheds),
+    // so results under different budgets must never restore each other.
+    // The ungoverned, un-faulted default contributes nothing, keeping
+    // pre-governance checkpoints valid.
+    if config.govern.is_governed() {
+        let _ = write!(
+            trailer,
+            "|govern {:?} {:?}",
+            config.govern.budget_bytes, config.govern.action
+        );
+    }
+    if let Some(mem) = config.mem_faults.filter(|p| p.is_armed()) {
+        let _ = write!(trailer, "|memfaults {mem}");
+    }
+    trailer.push_str("|names");
     for name in names {
         let _ = write!(trailer, " {name}");
     }

@@ -1,15 +1,17 @@
 //! The full-evaluation driver: the paper's workflow over one data set.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 use tracelens_causality::{CausalityAnalysis, CausalityConfig, CausalityError, CausalityReport};
-use tracelens_faults::ExecFaultPlan;
+use tracelens_faults::{ExecFaultPlan, MemFaultPlan};
 use tracelens_impact::{ImpactAnalyzer, ImpactReport};
-use tracelens_model::{ComponentFilter, Dataset, SanitizeReport, ScenarioName};
+use tracelens_model::{ComponentFilter, Dataset, SanitizeReport, ScenarioName, TimeNs};
 use tracelens_obs::{stage, Telemetry};
-use tracelens_pool::{ExecutionReport, Pool, SupervisePolicy, UnitMeta};
+use tracelens_pool::{
+    Degradation, ExecutionReport, GovernPolicy, GovernReport, Pool, SupervisePolicy, UnitMeta,
+};
 
 /// Stage label of per-scenario supervised work units.
 pub const SCENARIO_STAGE: &str = "scenario";
@@ -17,6 +19,79 @@ pub const SCENARIO_STAGE: &str = "scenario";
 /// Stage label execution-fault plans are consulted with for faults
 /// armed inside the causality analyzer (via its analysis probe).
 pub const CAUSALITY_STAGE: &str = "causality";
+
+/// Modeled live-heap bytes per stream event for the indexing side of a
+/// scenario unit (thread buckets, unwait adjacency, effective ends —
+/// see `StreamIndex`'s `HeapSize` impl). Deliberately a generous upper
+/// bound: admission must never under-estimate.
+pub const INDEX_BYTES_PER_EVENT: u64 = 32;
+
+/// Modeled live-heap bytes per in-scope stream event for the wait
+/// graphs and aggregated wait graphs a scenario instance can build
+/// (node, children, example tags). Again an upper bound — real graphs
+/// only materialize nodes for the instance's window.
+pub const GRAPH_BYTES_PER_EVENT: u64 = 96;
+
+/// Segment bound degraded units analyze with (vs.
+/// [`tracelens_causality::DEFAULT_SEGMENT_BOUND`]): shorter segments
+/// bound the pattern-enumeration frontier, the causality stage's
+/// dominant allocation.
+pub const DEGRADED_SEGMENT_BOUND: usize = 2;
+
+/// Modeled live-heap cost of one per-scenario analysis unit, in bytes.
+///
+/// The estimate is *cheap* (no allocator hooks — it only walks instance
+/// and stream lengths), *monotone* in the unit's input, and an upper
+/// bound of what the unit's indexes and graphs actually retain (the
+/// `HeapSize` measurements in the governance tests pin this down). It
+/// charges every touched stream once for indexing and every instance
+/// for the graphs built over its stream.
+pub fn estimated_unit_bytes(dataset: &Dataset, name: &ScenarioName) -> u64 {
+    let mut touched: BTreeSet<u32> = BTreeSet::new();
+    let mut graph_events: u64 = 0;
+    for i in &dataset.instances {
+        if i.scenario == *name {
+            touched.insert(i.trace.0);
+            graph_events = graph_events.saturating_add(
+                dataset
+                    .streams
+                    .get(i.trace.0 as usize)
+                    .map_or(0, |s| s.len() as u64),
+            );
+        }
+    }
+    let index_events: u64 = touched
+        .iter()
+        .map(|&t| {
+            dataset
+                .streams
+                .get(t as usize)
+                .map_or(0, |s| s.len() as u64)
+        })
+        .sum();
+    index_events
+        .saturating_mul(INDEX_BYTES_PER_EVENT)
+        .saturating_add(graph_events.saturating_mul(GRAPH_BYTES_PER_EVENT))
+}
+
+/// The budget-bounded slice of `dataset` a degraded unit analyzes: the
+/// global time range truncated at `retain_per_mille` thousandths of its
+/// span. Integer arithmetic over the recorded range keeps the cut — and
+/// therefore the degraded results — deterministic at every job count.
+fn degraded_view(dataset: &Dataset, degradation: &Degradation) -> Dataset {
+    let events = dataset.streams.iter().flat_map(|s| s.events());
+    let (mut lo, mut hi) = (u64::MAX, 0u64);
+    for e in events {
+        lo = lo.min(e.t.0);
+        hi = hi.max(e.t.0);
+    }
+    if lo > hi {
+        (lo, hi) = (0, 0);
+    }
+    let span = hi - lo;
+    let keep = span.saturating_mul(degradation.retain_per_mille as u64) / 1000;
+    dataset.truncated(TimeNs(lo + keep))
+}
 
 /// Configuration of a [`Study`].
 #[derive(Debug, Clone)]
@@ -42,6 +117,17 @@ pub struct StudyConfig {
     /// units are stored there and restored on re-runs over the same
     /// inputs. `None` disables checkpointing.
     pub checkpoint: Option<PathBuf>,
+    /// Memory-governance policy for the supervised entry points: an
+    /// explicit live-bytes budget per-scenario units are admitted
+    /// against, and what happens to units that cannot fit. The default
+    /// (unlimited) makes governance a no-op — byte-identical results.
+    pub govern: GovernPolicy,
+    /// Deterministic resource-pressure injection (testing/CI only):
+    /// inflates unit cost *estimates* so the admission controller sees
+    /// overload without the corpus having to provide it. The units'
+    /// actual work is untouched. `None` — the default — injects
+    /// nothing.
+    pub mem_faults: Option<MemFaultPlan>,
 }
 
 impl Default for StudyConfig {
@@ -53,6 +139,8 @@ impl Default for StudyConfig {
             supervise: SupervisePolicy::default(),
             exec_faults: None,
             checkpoint: None,
+            govern: GovernPolicy::unlimited(),
+            mem_faults: None,
         }
     }
 }
@@ -148,9 +236,17 @@ pub struct Coverage {
     /// Individual repairs sanitization applied to surviving data.
     pub repaired: usize,
     /// Work units quarantined by *supervised execution* (panics, missed
-    /// deadlines) — the execution-layer counterpart of the sanitize
-    /// counts above. Always `0` for unsupervised runs.
+    /// deadlines, over-budget sheds) — the execution-layer counterpart
+    /// of the sanitize counts above. Always `0` for unsupervised runs.
     pub failed_units: usize,
+    /// Work units the memory governor ran on a bounded input slice:
+    /// their numbers cover only part of their scenario's data. Always
+    /// `0` without a finite budget.
+    pub degraded_units: usize,
+    /// Work units the memory governor refused to run at all (also
+    /// counted in `failed_units` via their quarantine record). Always
+    /// `0` without a finite budget.
+    pub shed_units: usize,
 }
 
 impl Coverage {
@@ -166,6 +262,8 @@ impl Coverage {
             quarantined_instances: 0,
             repaired: 0,
             failed_units: 0,
+            degraded_units: 0,
+            shed_units: 0,
         }
     }
 
@@ -180,6 +278,8 @@ impl Coverage {
             quarantined_instances: report.quarantined_instances,
             repaired: report.repaired(),
             failed_units: 0,
+            degraded_units: 0,
+            shed_units: 0,
         }
     }
 
@@ -213,6 +313,10 @@ pub struct Study {
     /// What supervised execution completed and what it quarantined.
     /// Empty (and clean) for the unsupervised entry points.
     pub execution: ExecutionReport,
+    /// What the memory governor decided per unit. Ungoverned (and
+    /// empty) unless the study ran under a finite
+    /// [`StudyConfig::govern`] budget.
+    pub governance: GovernReport,
 }
 
 impl Study {
@@ -274,6 +378,7 @@ impl Study {
             scenarios,
             coverage: Coverage::full(dataset),
             execution: ExecutionReport::default(),
+            governance: GovernReport::default(),
         }
     }
 
@@ -402,38 +507,80 @@ impl Study {
         if telemetry.enabled() {
             telemetry.count("study.scenarios", names.len() as u64);
         }
+        // Degraded units analyze a budget-bounded slice of the data set
+        // with a tighter segment bound; both analyzers share the same
+        // probe so fault plans hit degraded and whole units alike.
+        let mut degraded_causality = CausalityAnalysis::new(CausalityConfig {
+            segment_bound: config.causality.segment_bound.min(DEGRADED_SEGMENT_BOUND),
+            ..config.causality.clone()
+        })
+        .with_telemetry(telemetry.clone());
+        if let Some(p) = plan {
+            degraded_causality =
+                degraded_causality.with_probe(Arc::new(move |name: &ScenarioName| {
+                    p.arm(CAUSALITY_STAGE, &format!("scenario:{name}"));
+                }));
+        }
         let mut per_scenario: BTreeMap<ScenarioName, usize> = BTreeMap::new();
         for i in &dataset.instances {
             *per_scenario.entry(i.scenario).or_insert(0) += 1;
         }
-        let (results, mut scenario_exec) = pool.supervised_map(
+        // Admission runs on estimates computed up front, in input order,
+        // optionally inflated by the resource-pressure fault plan — so
+        // the governor's verdicts are independent of scheduling.
+        let mem = config.mem_faults.filter(|p| p.is_armed());
+        let estimates: BTreeMap<ScenarioName, u64> = names
+            .iter()
+            .map(|n| {
+                let est = estimated_unit_bytes(dataset, n);
+                let est = match mem {
+                    Some(p) => p.inflated(SCENARIO_STAGE, &format!("scenario:{n}"), est),
+                    None => est,
+                };
+                (*n, est)
+            })
+            .collect();
+        let analyze_on = |ds: &Dataset, name: &ScenarioName, causality: &CausalityAnalysis| {
+            let scenario_impact = analyzer.analyze_where(ds, |i| i.scenario == *name);
+            let thresholds = ds.scenario(name).map(|s| s.thresholds);
+            let slow_impact = match thresholds {
+                Some(th) => analyzer.analyze_where(ds, |i| {
+                    i.scenario == *name && th.classify(i.duration()) == Some(false)
+                }),
+                None => ImpactReport::default(),
+            };
+            ScenarioStudy {
+                impact: scenario_impact,
+                slow_impact,
+                causality: causality.analyze(ds, name),
+            }
+        };
+        let (results, mut scenario_exec, governance) = pool.governed_supervised_map(
             names,
             SCENARIO_STAGE,
             policy,
+            &config.govern,
+            |_, name| estimates.get(name).copied().unwrap_or(0),
             |_, name| {
                 UnitMeta::labeled(format!("scenario:{name}"))
                     .for_scenario(name.as_str())
                     .carrying(per_scenario.get(name).copied().unwrap_or(0))
             },
-            |i, name| {
+            |i, name, degradation| {
                 if let Some(saved) = restored.get(&i) {
                     return saved.clone();
                 }
                 if let Some(p) = plan {
                     p.arm(SCENARIO_STAGE, &format!("scenario:{name}"));
                 }
-                let scenario_impact = analyzer.analyze_where(dataset, |i| i.scenario == *name);
-                let thresholds = dataset.scenario(name).map(|s| s.thresholds);
-                let slow_impact = match thresholds {
-                    Some(th) => analyzer.analyze_where(dataset, |i| {
-                        i.scenario == *name && th.classify(i.duration()) == Some(false)
-                    }),
-                    None => ImpactReport::default(),
-                };
-                ScenarioStudy {
-                    impact: scenario_impact,
-                    slow_impact,
-                    causality: causality.analyze(dataset, name),
+                match degradation {
+                    None => analyze_on(dataset, name, &causality),
+                    Some(d) => {
+                        // The transient slice lives only while this unit
+                        // runs — its size is what the degradation bought.
+                        let view = degraded_view(dataset, d);
+                        analyze_on(&view, name, &degraded_causality)
+                    }
                 }
             },
         );
@@ -456,12 +603,50 @@ impl Study {
         execution.absorb(scenario_exec);
         let mut coverage = Coverage::full(dataset);
         coverage.failed_units = execution.quarantined();
+        coverage.degraded_units = governance.degraded;
+        coverage.shed_units = governance.shed;
         Ok(Study {
             impact,
             scenarios,
             coverage,
             execution,
+            governance,
         })
+    }
+
+    /// [`Study::run_supervised`] under explicit memory governance: every
+    /// per-scenario unit is admitted against [`StudyConfig::govern`]'s
+    /// live-bytes budget — queued behind backpressure, run degraded on a
+    /// bounded input slice, or shed as a typed quarantine — and the
+    /// governor's per-unit decisions land in [`Study::governance`],
+    /// [`Study::coverage`], and the rendered report. With an unlimited
+    /// budget this is exactly [`Study::run_supervised`], byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::Checkpoint`] as in [`Study::run_supervised`];
+    /// over-budget units are *not* errors — the study always completes
+    /// with every unit accounted for.
+    pub fn run_governed(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+    ) -> Result<Study, StudyError> {
+        Study::run_governed_traced(dataset, config, names, &Telemetry::noop())
+    }
+
+    /// [`Study::run_governed`] with telemetry: governance additionally
+    /// reports `govern.*` counters and a `govern.estimated_live_bytes`
+    /// gauge (the admission ledger's view of live heap).
+    pub fn run_governed_traced(
+        dataset: &Dataset,
+        config: &StudyConfig,
+        names: &[ScenarioName],
+        telemetry: &Telemetry,
+    ) -> Result<Study, StudyError> {
+        // Supervision is governance-aware; the entry points differ only
+        // in intent (this one documents the governed contract).
+        Study::run_supervised_traced(dataset, config, names, telemetry)
     }
 
     /// [`Study::run_supervised`] with corruption tolerance: sanitize
@@ -514,6 +699,8 @@ impl Study {
         let failed_units = study.execution.quarantined();
         study.coverage = Coverage::from_sanitize(&report);
         study.coverage.failed_units = failed_units;
+        study.coverage.degraded_units = study.governance.degraded;
+        study.coverage.shed_units = study.governance.shed;
         Ok((study, report))
     }
 

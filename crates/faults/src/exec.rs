@@ -163,7 +163,7 @@ impl ExecFaultPlan {
 pub struct ExecFaultParseError(String);
 
 impl ExecFaultParseError {
-    fn not_a_pair(part: &str) -> ExecFaultParseError {
+    pub(crate) fn not_a_pair(part: &str) -> ExecFaultParseError {
         ExecFaultParseError(format!("`{}` is not a key=value pair", part.trim()))
     }
 
@@ -171,6 +171,10 @@ impl ExecFaultParseError {
         ExecFaultParseError(format!(
             "unknown key `{key}` (expected seed, panic, slow, slow-ms)"
         ))
+    }
+
+    pub(crate) fn message(text: impl Into<String>) -> ExecFaultParseError {
+        ExecFaultParseError(text.into())
     }
 }
 
@@ -182,13 +186,16 @@ impl fmt::Display for ExecFaultParseError {
 
 impl std::error::Error for ExecFaultParseError {}
 
-fn parse_field<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ExecFaultParseError> {
+pub(crate) fn parse_field<T: std::str::FromStr>(
+    key: &str,
+    value: &str,
+) -> Result<T, ExecFaultParseError> {
     value
         .parse()
         .map_err(|_| ExecFaultParseError(format!("`{value}` is not a valid value for `{key}`")))
 }
 
-fn parse_rate(key: &str, value: &str) -> Result<f64, ExecFaultParseError> {
+pub(crate) fn parse_rate(key: &str, value: &str) -> Result<f64, ExecFaultParseError> {
     let rate: f64 = parse_field(key, value)?;
     if !(0.0..=1.0).contains(&rate) {
         return Err(ExecFaultParseError(format!(
@@ -201,7 +208,7 @@ fn parse_rate(key: &str, value: &str) -> Result<f64, ExecFaultParseError> {
 /// Uniform draw in `[0, 1)` from `(seed, stage, unit)`: FNV-1a over the
 /// strings feeds one round of SplitMix64 finalization — the same
 /// mixing family the data-layer injector uses.
-fn unit_draw(seed: u64, stage: &str, unit: &str) -> f64 {
+pub(crate) fn unit_draw(seed: u64, stage: &str, unit: &str) -> f64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64 ^ seed;
     for byte in stage
         .as_bytes()

@@ -29,8 +29,12 @@
 #![warn(missing_docs)]
 
 mod exec;
+mod pressure;
+mod readfault;
 
 pub use exec::{ExecFault, ExecFaultParseError, ExecFaultPlan};
+pub use pressure::MemFaultPlan;
+pub use readfault::{FlakyReader, ReadFaultPlan};
 
 use std::collections::BTreeMap;
 use tracelens_model::{

@@ -1,0 +1,176 @@
+//! Resource-pressure fault injection: adversarial *cost estimates*.
+//!
+//! The governance layer in `tracelens-pool` admits analysis units by
+//! their estimated live-heap bytes. Real overload — a pathological
+//! multi-gigabyte trace — is hard to stage in a test corpus, so a
+//! [`MemFaultPlan`] inflates a unit's estimate instead,
+//! deterministically in `(seed, stage, unit)` exactly like
+//! [`ExecFaultPlan`](crate::ExecFaultPlan) decides panics: the same
+//! plan, consulted from any thread at any job count, inflates the same
+//! units by the same factor. The unit's *actual* work is untouched —
+//! only the admission controller's view of it changes, which is
+//! precisely what exercising queue/degrade/shed paths needs.
+//!
+//! ```
+//! use tracelens_faults::MemFaultPlan;
+//!
+//! let plan = MemFaultPlan::parse("seed=7,rate=0.5,factor=64").unwrap();
+//! let a = plan.inflated("scenario", "scenario:AppLaunch", 1_000);
+//! assert_eq!(a, plan.inflated("scenario", "scenario:AppLaunch", 1_000));
+//! assert!(a == 1_000 || a == 64_000);
+//! ```
+
+use crate::exec::{parse_field, parse_rate, unit_draw};
+use crate::ExecFaultParseError;
+use std::fmt;
+
+/// A deterministic schedule of cost-estimate inflation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemFaultPlan {
+    seed: u64,
+    rate: f64,
+    factor: u64,
+}
+
+impl MemFaultPlan {
+    /// A plan that inflates nothing; add pressure with the builders.
+    pub fn new(seed: u64) -> MemFaultPlan {
+        MemFaultPlan {
+            seed,
+            rate: 0.0,
+            factor: 1,
+        }
+    }
+
+    /// Sets the fraction of units whose estimate is inflated
+    /// (clamped into `[0, 1]`).
+    pub fn with_rate(mut self, rate: f64) -> MemFaultPlan {
+        self.rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the inflation factor (`0` is treated as `1`).
+    pub fn with_factor(mut self, factor: u64) -> MemFaultPlan {
+        self.factor = factor.max(1);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether any unit can be inflated.
+    pub fn is_armed(&self) -> bool {
+        self.rate > 0.0 && self.factor > 1
+    }
+
+    /// The estimate the admission controller should see for this unit:
+    /// `estimate * factor` if the unit's draw falls under the rate,
+    /// `estimate` untouched otherwise.
+    pub fn inflated(&self, stage: &str, unit: &str, estimate: u64) -> u64 {
+        if !self.is_armed() {
+            return estimate;
+        }
+        if unit_draw(self.seed, stage, unit) < self.rate {
+            estimate.saturating_mul(self.factor)
+        } else {
+            estimate
+        }
+    }
+
+    /// Parses a CLI spec: comma-separated `key=value` pairs with keys
+    /// `seed`, `rate` (in `[0, 1]`), and `factor`.
+    ///
+    /// ```
+    /// use tracelens_faults::MemFaultPlan;
+    /// let plan = MemFaultPlan::parse("seed=3,rate=0.4,factor=32").unwrap();
+    /// assert_eq!(plan.seed(), 3);
+    /// assert!(plan.is_armed());
+    /// ```
+    pub fn parse(spec: &str) -> Result<MemFaultPlan, ExecFaultParseError> {
+        let mut plan = MemFaultPlan::new(0);
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| ExecFaultParseError::not_a_pair(part))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => plan.seed = parse_field(key, value)?,
+                "rate" => plan = plan.with_rate(parse_rate(key, value)?),
+                "factor" => plan = plan.with_factor(parse_field(key, value)?),
+                other => {
+                    return Err(ExecFaultParseError::message(format!(
+                        "unknown key `{other}` (expected seed, rate, factor)"
+                    )))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for MemFaultPlan {
+    /// Renders the plan in its own [`MemFaultPlan::parse`] syntax, so a
+    /// plan can be fingerprinted or echoed back to the user verbatim.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={},rate={},factor={}",
+            self.seed, self.rate, self.factor
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let plan = MemFaultPlan::new(11).with_rate(0.25).with_factor(8);
+        assert_eq!(MemFaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn unarmed_plan_is_identity() {
+        let plan = MemFaultPlan::new(9);
+        assert!(!plan.is_armed());
+        for i in 0..50 {
+            assert_eq!(plan.inflated("scenario", &format!("u{i}"), 123), 123);
+        }
+    }
+
+    #[test]
+    fn inflation_is_deterministic_and_partial() {
+        let plan = MemFaultPlan::new(5).with_rate(0.5).with_factor(16);
+        let mut inflated = 0;
+        for i in 0..200 {
+            let unit = format!("scenario:{i}");
+            let a = plan.inflated("scenario", &unit, 1_000);
+            assert_eq!(a, plan.inflated("scenario", &unit, 1_000));
+            assert!(a == 1_000 || a == 16_000);
+            if a > 1_000 {
+                inflated += 1;
+            }
+        }
+        // rate 0.5 over 200 units: comfortably away from 0 and 200.
+        assert!((40..=160).contains(&inflated), "inflated {inflated}");
+    }
+
+    #[test]
+    fn inflation_saturates() {
+        let plan = MemFaultPlan::new(0).with_rate(1.0).with_factor(u64::MAX);
+        assert_eq!(plan.inflated("s", "u", u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let plan = MemFaultPlan::parse("seed=11,rate=0.25,factor=8").unwrap();
+        assert_eq!(plan, MemFaultPlan::new(11).with_rate(0.25).with_factor(8));
+        assert!(MemFaultPlan::parse("rate=2.0").is_err());
+        assert!(MemFaultPlan::parse("bogus=1").is_err());
+        assert!(MemFaultPlan::parse("seed").is_err());
+        assert!(!MemFaultPlan::parse("").unwrap().is_armed());
+    }
+}

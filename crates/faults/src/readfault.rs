@@ -1,0 +1,136 @@
+//! Transient-I/O fault injection: a flaky [`Read`] wrapper.
+//!
+//! Ingestion at fleet scale reads trace files over storage that
+//! sometimes hiccups — NFS timeouts, interrupted syscalls — and the
+//! `textio` reader retries such transient errors with bounded
+//! exponential backoff ([`tracelens_model::textio::RetryingReader`]).
+//! [`FlakyReader`] stages those hiccups deterministically: each `read`
+//! call draws from `(seed, call-number)` and fails with a transient
+//! [`io::ErrorKind::TimedOut`] when the draw falls under the configured
+//! rate. No bytes are lost on a failed call, so a retried read resumes
+//! exactly where it left off.
+//!
+//! ```
+//! use std::io::Read;
+//! use tracelens_faults::{FlakyReader, ReadFaultPlan};
+//!
+//! let data = b"hello world".as_slice();
+//! let mut flaky = FlakyReader::new(data, ReadFaultPlan::new(7).with_rate(0.5));
+//! let mut out = Vec::new();
+//! // Plain read_to_end fails on the first injected timeout …
+//! let err = flaky.read_to_end(&mut out).unwrap_err();
+//! assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+//! ```
+
+use crate::exec::unit_draw;
+use std::io::{self, Read};
+
+/// A deterministic schedule of transient read failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadFaultPlan {
+    seed: u64,
+    rate: f64,
+}
+
+impl ReadFaultPlan {
+    /// A plan that never fails; add a rate with [`Self::with_rate`].
+    pub fn new(seed: u64) -> ReadFaultPlan {
+        ReadFaultPlan { seed, rate: 0.0 }
+    }
+
+    /// Sets the fraction of `read` calls that fail transiently
+    /// (clamped into `[0, 1]`).
+    pub fn with_rate(mut self, rate: f64) -> ReadFaultPlan {
+        self.rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether any read can fail.
+    pub fn is_armed(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Whether the `call`-th read fails.
+    pub fn fails(&self, call: u64) -> bool {
+        self.is_armed() && unit_draw(self.seed, "read", &call.to_string()) < self.rate
+    }
+}
+
+/// A [`Read`] adapter that injects transient failures per
+/// [`ReadFaultPlan`].
+#[derive(Debug)]
+pub struct FlakyReader<R> {
+    inner: R,
+    plan: ReadFaultPlan,
+    calls: u64,
+}
+
+impl<R> FlakyReader<R> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: R, plan: ReadFaultPlan) -> FlakyReader<R> {
+        FlakyReader {
+            inner,
+            plan,
+            calls: 0,
+        }
+    }
+
+    /// Total `read` calls observed (successful and failed).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+impl<R: Read> Read for FlakyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let call = self.calls;
+        self.calls += 1;
+        if self.plan.fails(call) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "injected transient i/o fault",
+            ));
+        }
+        self.inner.read(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_reader_is_transparent() {
+        let mut r = FlakyReader::new(b"abc".as_slice(), ReadFaultPlan::new(1));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abc");
+    }
+
+    #[test]
+    fn failures_are_deterministic_in_the_call_number() {
+        let plan = ReadFaultPlan::new(42).with_rate(0.3);
+        let pattern: Vec<bool> = (0..64).map(|c| plan.fails(c)).collect();
+        assert_eq!(pattern, (0..64).map(|c| plan.fails(c)).collect::<Vec<_>>());
+        assert!(pattern.iter().any(|&b| b), "rate 0.3 should fail somewhere");
+        assert!(!pattern.iter().all(|&b| b), "rate 0.3 should also succeed");
+    }
+
+    #[test]
+    fn a_failed_call_loses_no_bytes() {
+        // Fail every other call; a caller retrying each error must
+        // still recover the full input.
+        let plan = ReadFaultPlan::new(3).with_rate(0.5);
+        let mut r = FlakyReader::new(b"0123456789".as_slice(), plan);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 3];
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::TimedOut),
+            }
+        }
+        assert_eq!(out, b"0123456789");
+    }
+}

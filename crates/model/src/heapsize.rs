@@ -1,0 +1,147 @@
+//! Cheap heap-cost accounting for resource governance.
+//!
+//! The governance layer (`tracelens-pool`'s admission controller) needs
+//! to know roughly how many bytes a unit of analysis will keep live —
+//! *before* running it and without allocator hooks. [`HeapSize`]
+//! answers that with plain arithmetic over element counts and
+//! `size_of`: capacities times element sizes, plus the deep sizes of
+//! nested containers. The numbers are estimates — allocator slack,
+//! `HashMap` control metadata beyond one byte per slot, and small
+//! per-allocation headers are not modeled — but they are deterministic,
+//! monotone in the data, and cheap enough to compute on every admission
+//! decision.
+
+use crate::dataset::Dataset;
+use crate::event::Event;
+use crate::ids::{EventId, ProcessId, ThreadId, TraceId};
+use crate::intern::Symbol;
+use crate::scenario::{Scenario, ScenarioInstance, ScenarioName};
+use crate::stack::StackId;
+use crate::time::TimeNs;
+use std::collections::HashMap;
+use std::mem::size_of;
+
+/// Estimated bytes of heap owned by a value, excluding
+/// `size_of::<Self>()` itself (the inline part is the container's
+/// element size and is accounted for by the container).
+pub trait HeapSize {
+    /// Estimated owned heap bytes.
+    fn heap_size(&self) -> usize;
+}
+
+macro_rules! inline_only {
+    ($($t:ty),* $(,)?) => {$(
+        impl HeapSize for $t {
+            fn heap_size(&self) -> usize {
+                0
+            }
+        }
+    )*};
+}
+
+// Plain-old-data values own no heap; their bytes live inline in
+// whatever container holds them.
+inline_only!(
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    Event,
+    EventId,
+    ProcessId,
+    ThreadId,
+    TraceId,
+    TimeNs,
+    Symbol,
+    StackId,
+    ScenarioName,
+    Scenario,
+    ScenarioInstance,
+);
+
+impl HeapSize for String {
+    fn heap_size(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_size(&self) -> usize {
+        self.capacity() * size_of::<T>() + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl<K: HeapSize, V: HeapSize> HeapSize for HashMap<K, V> {
+    fn heap_size(&self) -> usize {
+        // One slot is a (K, V) pair plus roughly one control byte.
+        self.capacity() * (size_of::<K>() + size_of::<V>() + 1)
+            + self
+                .iter()
+                .map(|(k, v)| k.heap_size() + v.heap_size())
+                .sum::<usize>()
+    }
+}
+
+impl HeapSize for Dataset {
+    fn heap_size(&self) -> usize {
+        self.streams.heap_size()
+            + self.instances.heap_size()
+            + self.scenarios.heap_size()
+            + self.stacks.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackTable;
+    use crate::stream::TraceStreamBuilder;
+
+    #[test]
+    fn scalar_values_own_no_heap() {
+        let e = Event {
+            kind: crate::event::EventKind::Running,
+            tid: ThreadId(1),
+            pid: ProcessId(1),
+            t: TimeNs(0),
+            cost: TimeNs(1),
+            stack: StackId(0),
+            wtid: None,
+        };
+        assert_eq!(7u64.heap_size(), 0);
+        assert_eq!(e.heap_size(), 0);
+        assert_eq!(Symbol(3).heap_size(), 0);
+    }
+
+    #[test]
+    fn vec_counts_capacity_and_children() {
+        let v: Vec<u32> = Vec::with_capacity(8);
+        assert_eq!(v.heap_size(), 8 * 4);
+        let nested = vec![vec![1u8; 3], vec![2u8; 5]];
+        assert!(nested.heap_size() >= 2 * size_of::<Vec<u8>>() + 8);
+    }
+
+    #[test]
+    fn stream_heap_grows_with_events() {
+        let mut stacks = StackTable::new();
+        let s = stacks.intern_symbols(&["kernel!Main", "fv.sys!Op"]);
+        let mut b = TraceStreamBuilder::new(0);
+        for i in 0..100u64 {
+            b.push_running(ThreadId(1), TimeNs(i * 1_000), TimeNs(500), s);
+        }
+        let big = b.finish().expect("well-formed").heap_size();
+        let mut b = TraceStreamBuilder::new(0);
+        b.push_running(ThreadId(1), TimeNs(0), TimeNs(500), s);
+        let small = b.finish().expect("well-formed").heap_size();
+        assert!(big > small);
+        assert!(big >= 100 * size_of::<Event>());
+    }
+
+    #[test]
+    fn stack_table_heap_counts_strings() {
+        let mut t = StackTable::new();
+        t.intern_symbols(&["kernel!Main", "fv.sys!QueryFileTable"]);
+        assert!(t.heap_size() > "kernel!Main".len() + "fv.sys!QueryFileTable".len());
+    }
+}

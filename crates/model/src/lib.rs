@@ -39,6 +39,7 @@
 mod component;
 mod dataset;
 mod event;
+mod heapsize;
 mod ids;
 mod intern;
 mod sanitize;
@@ -55,6 +56,7 @@ mod validate;
 pub use component::{ComponentFilter, DriverType};
 pub use dataset::Dataset;
 pub use event::{Event, EventKind};
+pub use heapsize::HeapSize;
 pub use ids::{EventId, ProcessId, ThreadId, TraceId};
 pub use intern::{InternError, Interner, Symbol};
 pub use sanitize::{SanitizeReport, DUPLICATE_TRACE_ID};

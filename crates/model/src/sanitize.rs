@@ -68,6 +68,11 @@ pub struct SanitizeReport {
     pub input_instances: usize,
     /// Event count of the input.
     pub input_events: usize,
+    /// Transient I/O errors absorbed by retrying reads while ingesting
+    /// the input (zero when the data set came from memory). Retries are
+    /// about the *transport*, not the data, so they do not affect
+    /// [`SanitizeReport::is_clean`].
+    pub io_retries: usize,
 }
 
 impl SanitizeReport {
@@ -123,11 +128,15 @@ fn coverage(total: usize, lost: usize) -> f64 {
 impl fmt::Display for SanitizeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_clean() {
-            return write!(
+            write!(
                 f,
                 "sanitize: clean ({} traces / {} instances / {} events)",
                 self.input_traces, self.input_instances, self.input_events
-            );
+            )?;
+            if self.io_retries > 0 {
+                write!(f, " after {} transient i/o retr(ies)", self.io_retries)?;
+            }
+            return Ok(());
         }
         writeln!(
             f,
@@ -142,6 +151,9 @@ impl fmt::Display for SanitizeReport {
         )?;
         for (kind, n) in &self.violations {
             writeln!(f, "  {kind}: {n}")?;
+        }
+        if self.io_retries > 0 {
+            writeln!(f, "  transient i/o retries: {}", self.io_retries)?;
         }
         Ok(())
     }
@@ -475,6 +487,15 @@ mod tests {
         let (again, second) = clean.sanitize();
         assert!(second.is_clean(), "second pass: {second:?}");
         assert_eq!(bytes(&clean), bytes(&again));
+    }
+
+    #[test]
+    fn io_retries_show_without_dirtying_the_report() {
+        let ds = valid();
+        let (_, mut report) = ds.sanitize();
+        report.io_retries = 3;
+        assert!(report.is_clean(), "retries are transport, not data");
+        assert!(report.to_string().contains("3 transient i/o retr(ies)"));
     }
 
     #[test]

@@ -155,6 +155,13 @@ impl StackTable {
     }
 }
 
+impl crate::heapsize::HeapSize for StackTable {
+    fn heap_size(&self) -> usize {
+        // The index map duplicates every frame vector as its key.
+        self.symbols.heap_size() + self.stacks.heap_size() + self.index.heap_size()
+    }
+}
+
 /// Precomputed filter-match cache over the stacks of one [`StackTable`].
 ///
 /// Answers the two questions the analysis hot paths ask about every wait

@@ -290,6 +290,124 @@ impl Dataset {
         }
         Ok(ds)
     }
+
+    /// [`Dataset::read_text`] behind a [`RetryingReader`]: transient
+    /// I/O errors (interrupted or timed-out reads, as NFS and flaky
+    /// storage produce at fleet scale) are retried with the policy's
+    /// bounded exponential backoff instead of aborting ingestion.
+    ///
+    /// Returns the data set together with the number of retried reads,
+    /// which callers surface in `SanitizeReport::io_retries`.
+    pub fn read_text_retrying<R: io::Read>(
+        input: R,
+        policy: RetryPolicy,
+    ) -> Result<(Dataset, usize), ReadError> {
+        let mut reader = io::BufReader::new(RetryingReader::new(input, policy));
+        let ds = Dataset::read_text(&mut reader)?;
+        Ok((ds, reader.into_inner().retries()))
+    }
+}
+
+/// Bounded-retry policy for transient ingestion I/O errors.
+///
+/// The backoff schedule is deterministic — attempt `k` (0-based) waits
+/// `base_backoff * 2^k`, capped at `max_backoff` — so two runs over the
+/// same flaky source retry identically; only the wall time varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per failing `read` call before the error propagates.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: std::time::Duration,
+    /// Upper bound the exponential schedule saturates at.
+    pub max_backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 1 ms doubling to a 100 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (transient errors propagate).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The wait before retry number `attempt` (0-based):
+    /// `base_backoff * 2^attempt`, saturating at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> std::time::Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+
+    /// Whether an error kind counts as transient (worth retrying).
+    pub fn is_transient(kind: io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        )
+    }
+}
+
+/// A [`io::Read`] adapter retrying transient errors per [`RetryPolicy`].
+///
+/// A failed `read` consumes no bytes, so retrying the call resumes the
+/// stream exactly where it left off; non-transient errors and exhausted
+/// retries propagate unchanged.
+#[derive(Debug)]
+pub struct RetryingReader<R> {
+    inner: R,
+    policy: RetryPolicy,
+    retries: usize,
+}
+
+impl<R> RetryingReader<R> {
+    /// Wraps `inner` under `policy`.
+    pub fn new(inner: R, policy: RetryPolicy) -> RetryingReader<R> {
+        RetryingReader {
+            inner,
+            policy,
+            retries: 0,
+        }
+    }
+
+    /// Reads retried so far (each counts one transient error absorbed).
+    pub fn retries(&self) -> usize {
+        self.retries
+    }
+}
+
+impl<R: io::Read> io::Read for RetryingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.read(buf) {
+                Err(e)
+                    if RetryPolicy::is_transient(e.kind()) && attempt < self.policy.max_retries =>
+                {
+                    let pause = self.policy.backoff(attempt);
+                    attempt += 1;
+                    self.retries += 1;
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
 }
 
 /// Rejects text that cannot be represented in the tab-separated format.
@@ -317,6 +435,7 @@ pub fn mentions_component(ds: &Dataset, filter: &ComponentFilter) -> bool {
 mod tests {
     use super::*;
     use std::io::BufReader;
+    use std::time::Duration;
 
     fn tiny() -> Dataset {
         let mut ds = Dataset::new();
@@ -426,6 +545,89 @@ mod tests {
         let ds = Dataset::read_text(BufReader::new(text.as_bytes())).unwrap();
         assert_eq!(ds.streams.len(), 1);
         assert!(ds.streams[0].is_empty());
+    }
+
+    /// Fails every other `read` call with a transient kind, losing no
+    /// bytes — exercises [`RetryingReader`] without the faults crate.
+    struct EveryOther<R> {
+        inner: R,
+        calls: u64,
+    }
+
+    impl<R: io::Read> io::Read for EveryOther<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.calls % 2 == 1 {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "flaky"));
+            }
+            self.inner.read(buf)
+        }
+    }
+
+    #[test]
+    fn retrying_reader_recovers_transient_faults() {
+        let ds = tiny();
+        let mut buf = Vec::new();
+        ds.write_text(&mut buf).unwrap();
+        let flaky = EveryOther {
+            inner: buf.as_slice(),
+            calls: 0,
+        };
+        let policy = RetryPolicy {
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let (back, retries) = Dataset::read_text_retrying(flaky, policy).unwrap();
+        assert_eq!(back.instances, ds.instances);
+        assert!(retries > 0, "every other read failed, so retries happened");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_error() {
+        struct AlwaysFail;
+        impl io::Read for AlwaysFail {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "down"))
+            }
+        }
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let e = Dataset::read_text_retrying(AlwaysFail, policy).unwrap_err();
+        match e {
+            ReadError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::TimedOut),
+            other => panic!("expected io error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+        };
+        let schedule: Vec<u128> = (0..8).map(|a| policy.backoff(a).as_millis()).collect();
+        assert_eq!(schedule, vec![1, 2, 4, 8, 16, 32, 64, 100]);
+        // Saturates rather than overflowing at absurd attempt counts.
+        assert_eq!(policy.backoff(200), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        struct Denied;
+        impl io::Read for Denied {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::PermissionDenied, "no"))
+            }
+        }
+        let e = Dataset::read_text_retrying(Denied, RetryPolicy::default()).unwrap_err();
+        match e {
+            ReadError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::PermissionDenied),
+            other => panic!("expected io error, got {other}"),
+        }
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub mod stage {
     /// Checkpoint save/restore of completed study units. Not part of
     /// [`PIPELINE`]: it only runs when `--checkpoint` is given.
     pub const CHECKPOINT: &str = "checkpoint";
+    /// Resource governance: memory-budget admission, degradation and
+    /// shedding decisions. Not part of [`PIPELINE`]: governance wraps
+    /// the other stages like supervision does.
+    pub const GOVERN: &str = "govern";
 
     /// The pipeline stages every full analysis run reports, in order.
     pub const PIPELINE: &[&str] = &[

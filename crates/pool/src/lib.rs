@@ -40,8 +40,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod govern;
 mod supervise;
 
+pub use govern::{
+    plan_admission, Admission, Degradation, GovernPolicy, GovernReport, OverBudgetAction,
+    UnitDecision,
+};
 pub use supervise::{ExecutionReport, FailureReason, SupervisePolicy, UnitFailure, UnitMeta};
 
 use std::num::NonZeroUsize;

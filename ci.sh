@@ -34,6 +34,45 @@ TRACELENS_BENCH_OUT="$(mktemp)" \
     cargo run -q --release -p tracelens-bench --bin exp_scaling -- 120 2014 \
     > /dev/null
 
+echo "== trace store (cache identity + parallel ingest + pack determinism) =="
+# A cached study run must be byte-identical to the uncached one, the
+# sharded-parallel parse must match serial at more than one job count,
+# and `pack` must emit the same image regardless of the pool size.
+TS_DIR="$(mktemp -d)"
+TL=target/release/tracelens
+"$TL" simulate -o "$TS_DIR/ds.tlt" --traces 40 --seed 9 > /dev/null
+"$TL" report "$TS_DIR/ds.tlt" -o "$TS_DIR/uncached.md" 2> /dev/null
+"$TL" report "$TS_DIR/ds.tlt" --cache -o "$TS_DIR/cold.md" 2> /dev/null
+test -s "$TS_DIR/ds.tlb"
+"$TL" report "$TS_DIR/ds.tlt" --cache -o "$TS_DIR/warm.md" 2> /dev/null
+cmp "$TS_DIR/uncached.md" "$TS_DIR/cold.md"
+cmp "$TS_DIR/uncached.md" "$TS_DIR/warm.md"
+TRACELENS_JOBS=1 "$TL" report "$TS_DIR/ds.tlt" -o "$TS_DIR/j1.md" 2> /dev/null
+TRACELENS_JOBS=4 "$TL" report "$TS_DIR/ds.tlt" -o "$TS_DIR/j4.md" 2> /dev/null
+cmp "$TS_DIR/j1.md" "$TS_DIR/j4.md"
+TRACELENS_JOBS=1 "$TL" pack "$TS_DIR/ds.tlt" -o "$TS_DIR/p1.tlb" > /dev/null 2>&1
+TRACELENS_JOBS=8 "$TL" pack "$TS_DIR/ds.tlt" -o "$TS_DIR/p8.tlb" > /dev/null 2>&1
+cmp "$TS_DIR/p1.tlb" "$TS_DIR/p8.tlb"
+rm -rf "$TS_DIR"
+
+echo "== exp_ingest smoke (binary load must beat the text parse) =="
+# Small corpus; the binary also asserts in-process that the `.tlb` load
+# is faster than the serial text parse and that interning stays off the
+# top of the ingest profile.
+ING_JSON="$(mktemp)"
+TRACELENS_BENCH_OUT="$ING_JSON" \
+    cargo run -q --release -p tracelens-bench --bin exp_ingest -- 120 2014 \
+    > /dev/null
+python3 -c "
+import json, sys
+j = json.load(open(sys.argv[1]))
+walls = {m['mode']: m['wall_s'] for m in j['modes']}
+assert walls['binary'] < walls['text-serial'], \
+    f'binary load ({walls[\"binary\"]:.4f}s) not faster than text ({walls[\"text-serial\"]:.4f}s)'
+assert j['intern_fraction_of_serial'] < 0.5, 'interning dominates ingest'
+" "$ING_JSON"
+rm -f "$ING_JSON"
+
 echo "== fail-operational report (injected panics + slow units) =="
 # A report over a faulty analysis run must exit 0 and account for the
 # quarantined work in a non-empty Execution section.

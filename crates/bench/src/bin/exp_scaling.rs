@@ -1,10 +1,12 @@
 //! E-scaling — full-pipeline thread-scaling: `Study::run` over the
 //! selected-scenario corpus at 1, 2, 4 and 8 worker threads.
 //!
-//! For every job count the run records wall time, per-stage *busy* time
-//! (summed across workers, so it can exceed wall time once the pool
-//! fans out), pool task/batch counters, the process RSS high-water mark
-//! (`VmHWM`, monotonic across runs), and the speedup against the
+//! For every job count the run records wall time, the trace-store
+//! ingest wall time and RSS high-water mark (measured separately so the
+//! JSON keeps ingest cost apart from analysis cost), per-stage *busy*
+//! time (summed across workers, so it can exceed wall time once the
+//! pool fans out), pool task/batch counters, the process RSS high-water
+//! mark (`VmHWM`, monotonic across runs), and the speedup against the
 //! sequential run — and asserts the rendered Markdown report is
 //! byte-identical to the `jobs=1` report, so the scaling numbers are
 //! only ever about *speed*.
@@ -42,6 +44,8 @@ struct RunSample {
     jobs: usize,
     wall_s: f64,
     speedup: f64,
+    ingest_wall_s: f64,
+    ingest_peak_rss_kb: Option<u64>,
     peak_rss_kb: Option<u64>,
     stage_busy_s: Vec<(&'static str, f64)>,
     pool_tasks: u64,
@@ -66,12 +70,27 @@ fn main() {
     eprintln!("generating {traces} traces (seed {seed}); {cores} cores available...");
     let ds = selected_dataset(traces, seed);
     let names = selected_names();
+    let mut text = Vec::new();
+    ds.write_text(&mut text).expect("serialize corpus");
 
     let mut baseline_md: Option<String> = None;
     let mut baseline_wall = 0.0f64;
     let mut samples = Vec::new();
     for jobs in JOB_COUNTS {
         let (telemetry, sink) = CollectingSink::telemetry();
+        // Ingest cost is measured separately from the analysis pipeline
+        // so BENCH_pipeline.json keeps the two apart.
+        let t0 = Instant::now();
+        let (ingested, _) = tracelens::store::ingest_bytes(&text, &Pool::new(jobs), &telemetry)
+            .expect("corpus reparses");
+        let ingest_wall_s = t0.elapsed().as_secs_f64();
+        let ingest_peak_rss_kb = peak_rss_kb();
+        assert_eq!(
+            ingested.total_events(),
+            ds.total_events(),
+            "jobs={jobs}: ingest dropped events"
+        );
+        drop(ingested);
         let config = StudyConfig {
             jobs,
             ..StudyConfig::default()
@@ -98,6 +117,8 @@ fn main() {
             jobs,
             wall_s,
             speedup: baseline_wall / wall_s,
+            ingest_wall_s,
+            ingest_peak_rss_kb,
             peak_rss_kb: peak_rss_kb(),
             stage_busy_s: STAGES.iter().map(|&s| (s, ns(s))).collect(),
             pool_tasks: counter(&report, "pool.tasks"),
@@ -105,7 +126,7 @@ fn main() {
             report_identical,
         });
         eprintln!(
-            "jobs={jobs}: {wall_s:.3}s (speedup {:.2}x)",
+            "jobs={jobs}: ingest {ingest_wall_s:.3}s, analysis {wall_s:.3}s (speedup {:.2}x)",
             baseline_wall / wall_s
         );
     }
@@ -147,6 +168,15 @@ fn render_json(
         let _ = writeln!(out, "      \"jobs\": {},", s.jobs);
         let _ = writeln!(out, "      \"wall_s\": {:.6},", s.wall_s);
         let _ = writeln!(out, "      \"speedup\": {:.3},", s.speedup);
+        let _ = writeln!(out, "      \"ingest_wall_s\": {:.6},", s.ingest_wall_s);
+        match s.ingest_peak_rss_kb {
+            Some(kb) => {
+                let _ = writeln!(out, "      \"ingest_peak_rss_kb\": {kb},");
+            }
+            None => {
+                let _ = writeln!(out, "      \"ingest_peak_rss_kb\": null,");
+            }
+        }
         match s.peak_rss_kb {
             Some(kb) => {
                 let _ = writeln!(out, "      \"peak_rss_kb\": {kb},");

@@ -4,6 +4,7 @@
 //! tracelens simulate  -o FILE [--traces N] [--seed S] [--mix full|selected|SCENARIO]
 //! tracelens run       SCRIPT.tsim [-o FILE]
 //! tracelens info      FILE
+//! tracelens pack      FILE [-o OUT.tlb] [--jobs N]
 //! tracelens validate  FILE [--sanitize]
 //! tracelens impact    FILE [--components GLOB] [--scenario NAME] [--jobs N]
 //! tracelens blame     FILE [--scenario NAME] [--components GLOB]
@@ -25,9 +26,11 @@
 //! (see [`tracelens::model::textio`]); `-` means stdin/stdout.
 //!
 //! Every command reading `FILE` accepts `--sanitize` (repair/quarantine
-//! corrupt input before analysis, reporting coverage on stderr) and
-//! `--strict` (treat any validation violation as a hard error). The
-//! default keeps the historical behavior: warn and proceed.
+//! corrupt input before analysis, reporting coverage on stderr),
+//! `--strict` (treat any validation violation as a hard error), and
+//! `--cache` (maintain a `.tlb` binary columnar cache next to the
+//! input; see [`tracelens::store`]). The default keeps the historical
+//! behavior: warn and proceed.
 //!
 //! Analysis commands (`impact`, `causality`, `report`) accept
 //! `--jobs N`: worker threads for the analysis pool. `1` is fully
@@ -36,7 +39,8 @@
 //! every setting.
 
 use std::fs::File;
-use std::io::{self, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tracelens::causality::{split_classes, CausalityAnalysis, CausalityConfig};
 use tracelens::prelude::*;
@@ -62,6 +66,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => cmd_simulate(rest),
         "run" => cmd_run(rest),
         "info" => cmd_info(rest),
+        "pack" => cmd_pack(rest),
         "validate" => cmd_validate(rest),
         "impact" => cmd_impact(rest),
         "blame" => cmd_blame(rest),
@@ -88,6 +93,7 @@ fn print_usage() {
          \x20 tracelens simulate  -o FILE [--traces N] [--seed S] [--mix full|selected|SCENARIO]\n\
          \x20 tracelens run       SCRIPT.tsim [-o FILE]   (machine DSL; see sim::script)\n\
          \x20 tracelens info      FILE\n\
+         \x20 tracelens pack      FILE [-o OUT.tlb] [--jobs N]   (write binary columnar cache)\n\
          \x20 tracelens validate  FILE [--sanitize]   (list violations; nonzero exit if any)\n\
          \x20 tracelens impact    FILE [--components GLOB] [--scenario NAME] [--jobs N]\n\
          \x20 tracelens blame     FILE [--scenario NAME] [--components GLOB]\n\
@@ -106,7 +112,13 @@ fn print_usage() {
          \n\
          FILE is a .tlt data set; `-` reads stdin / writes stdout.\n\
          Commands reading FILE also accept --sanitize (repair/quarantine\n\
-         corrupt input, report coverage) and --strict (violations are fatal).\n\
+         corrupt input, report coverage), --strict (violations are fatal),\n\
+         and --cache (keep a FILE.tlb binary columnar cache next to the\n\
+         input: packed on first read, reused while the text fingerprint\n\
+         matches, with transparent fallback to the text parse on any\n\
+         missing/stale/corrupt cache). Multi-trace text ingestion is\n\
+         sharded across the worker pool; results are byte-identical to\n\
+         the serial parse at every job count.\n\
          Analysis commands (impact, causality, report) accept --jobs N\n\
          (0 = TRACELENS_JOBS or all cores; results identical at any N).\n\
          `report` runs supervised: panicking or over-deadline work units\n\
@@ -179,17 +191,30 @@ impl Opts {
     }
 }
 
-/// Reads a data set, retrying transient I/O errors (interrupted or
-/// timed-out reads) with bounded exponential backoff. Returns the data
-/// set and how many retries were needed (usually zero); callers running
-/// sanitization surface the count through `SanitizeReport::io_retries`.
-fn read_dataset(path: &str) -> Result<(Dataset, usize), String> {
-    let read: Box<dyn Read> = if path == "-" {
-        Box::new(io::stdin())
-    } else {
-        Box::new(File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?)
-    };
-    Dataset::read_text_retrying(read, RetryPolicy::default()).map_err(|e| e.to_string())
+/// Reads a data set through the trace store: transient I/O errors are
+/// retried with bounded backoff, multi-trace text is sharded across
+/// pool workers (`--jobs`, byte-identical to the serial parse), and
+/// `--cache` loads/maintains a `.tlb` binary cache next to the file.
+/// Returns the data set and the store's ingest accounting; callers
+/// running sanitization surface the transport counters through
+/// `SanitizeReport`.
+fn read_dataset(path: &str, opts: &Opts) -> Result<(Dataset, IngestReport), String> {
+    let jobs: usize = opts.parsed("jobs", 0)?;
+    let pool = Pool::new(jobs);
+    let telemetry = Telemetry::noop();
+    if path == "-" {
+        if opts.has("cache") {
+            return Err("--cache requires a file path (stdin has no cache location)".to_owned());
+        }
+        return tracelens::store::ingest_reader(io::stdin(), &pool, &telemetry)
+            .map_err(|e| e.to_string());
+    }
+    tracelens::store::ingest_path(Path::new(path), opts.has("cache"), &pool, &telemetry).map_err(
+        |e| match e {
+            tracelens::model::textio::ReadError::Io(io) => format!("cannot open {path}: {io}"),
+            other => other.to_string(),
+        },
+    )
 }
 
 /// Loads `path` honoring the shared corruption-handling flags:
@@ -203,13 +228,12 @@ fn load(path: &str, opts: &Opts) -> Result<Dataset, String> {
     if opts.has("strict") && opts.has("sanitize") {
         return Err("--strict and --sanitize are mutually exclusive".to_owned());
     }
-    let (ds, io_retries) = read_dataset(path)?;
-    if io_retries > 0 {
-        eprintln!("ingest: absorbed {io_retries} transient i/o error(s) while reading {path}");
-    }
+    let (ds, ingest) = read_dataset(path, opts)?;
+    report_ingest(path, &ingest);
     if opts.has("sanitize") {
         let (clean, mut report) = ds.sanitize();
-        report.io_retries = io_retries;
+        report.io_retries = ingest.io_retries;
+        report.cache_fallbacks = ingest.cache_fallback.is_some() as usize;
         if report.is_clean() {
             eprintln!("sanitize: input is clean");
         } else {
@@ -233,17 +257,46 @@ fn load(path: &str, opts: &Opts) -> Result<Dataset, String> {
     Ok(ds)
 }
 
+/// Narrates the ingest path on stderr: absorbed I/O retries, cache
+/// hits, and cache fallbacks (stdout stays report-only).
+fn report_ingest(path: &str, ingest: &IngestReport) {
+    if ingest.io_retries > 0 {
+        eprintln!(
+            "ingest: absorbed {} transient i/o error(s) while reading {path}",
+            ingest.io_retries
+        );
+    }
+    if ingest.source == IngestSource::BinaryCache {
+        eprintln!(
+            "ingest: loaded binary cache ({} events, {} bytes)",
+            ingest.events, ingest.bytes
+        );
+    }
+    if let Some(reason) = ingest.cache_fallback {
+        eprintln!(
+            "ingest: binary cache {reason}; parsed text{}",
+            if ingest.cache_written {
+                " and repacked the cache"
+            } else {
+                ""
+            }
+        );
+    }
+}
+
 /// Prints every validation violation with per-kind counts and exits
 /// nonzero if any are found. With `--sanitize`, additionally shows what
 /// sanitization would repair and quarantine.
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &[])?;
     let path = opts.positional.first().ok_or("validate requires FILE")?;
-    let (ds, io_retries) = read_dataset(path)?;
+    let (ds, ingest) = read_dataset(path, &opts)?;
+    report_ingest(path, &ingest);
     let verdict = ds.validate();
     if opts.has("sanitize") {
         let (_, mut report) = ds.sanitize();
-        report.io_retries = io_retries;
+        report.io_retries = ingest.io_retries;
+        report.cache_fallbacks = ingest.cache_fallback.is_some() as usize;
         print!("{report}");
         println!();
     }
@@ -264,6 +317,38 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
             Err(format!("{path} failed validation"))
         }
     }
+}
+
+/// Packs a text data set into its `.tlb` binary columnar cache — the
+/// same image `--cache` writes transparently, produced explicitly (for
+/// warming caches ahead of a batch run, or shipping a corpus in its
+/// fast-loading form).
+fn cmd_pack(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["jobs"])?;
+    let path = opts.positional.first().ok_or("pack requires FILE")?;
+    if path == "-" {
+        return Err("pack requires a file path (stdin has no cache location)".to_owned());
+    }
+    let jobs: usize = opts.parsed("jobs", 0)?;
+    let text = std::fs::read(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (ds, _) = tracelens::store::ingest_bytes(&text, &Pool::new(jobs), &Telemetry::noop())
+        .map_err(|e| e.to_string())?;
+    let out_path = match opts.value("o") {
+        Some(o) => PathBuf::from(o),
+        None => tracelens::store::cache_path_for(Path::new(path)),
+    };
+    let image = ds.to_binary(tracelens::model::fingerprint_bytes(&text));
+    std::fs::write(&out_path, &image)
+        .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+    eprintln!(
+        "packed {} traces / {} events → {} ({} bytes, {:.1}% of text)",
+        ds.streams.len(),
+        ds.total_events(),
+        out_path.display(),
+        image.len(),
+        100.0 * image.len() as f64 / text.len().max(1) as f64
+    );
+    Ok(())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
@@ -605,14 +690,13 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         if opts.has("strict") {
             return Err("--strict and --sanitize are mutually exclusive".to_owned());
         }
-        let (ds, io_retries) = read_dataset(path)?;
+        let (ds, ingest) = read_dataset(path, &opts)?;
+        report_ingest(path, &ingest);
         let names: Vec<ScenarioName> = ds.scenarios.iter().map(|s| s.name).collect();
         let (study, mut report) =
             Study::run_sanitized_supervised(&ds, &config, &names).map_err(|e| e.to_string())?;
-        report.io_retries = io_retries;
-        if io_retries > 0 {
-            eprintln!("ingest: absorbed {io_retries} transient i/o error(s) while reading {path}");
-        }
+        report.io_retries = ingest.io_retries;
+        report.cache_fallbacks = ingest.cache_fallback.is_some() as usize;
         if report.is_clean() {
             eprintln!("sanitize: input is clean");
         } else {

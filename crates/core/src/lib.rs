@@ -40,11 +40,13 @@
 pub mod checkpoint;
 pub mod report;
 pub mod selfreport;
+pub mod store;
 mod study;
 
 pub use checkpoint::Checkpoint;
 pub use report::{render_markdown, ReportOptions};
 pub use selfreport::SelfObservation;
+pub use store::{CacheFallback, IngestReport, IngestSource};
 pub use study::{
     estimated_unit_bytes, Coverage, ScenarioStudy, Study, StudyConfig, StudyError, CAUSALITY_STAGE,
     DEGRADED_SEGMENT_BOUND, GRAPH_BYTES_PER_EVENT, INDEX_BYTES_PER_EVENT, SCENARIO_STAGE,
@@ -89,5 +91,6 @@ pub mod prelude {
     pub use tracelens_sim::{DatasetBuilder, Machine, ProgramBuilder, ScenarioMix};
     pub use tracelens_waitgraph::{StreamIndex, WaitGraph};
 
+    pub use crate::store::{CacheFallback, IngestReport, IngestSource};
     pub use crate::{Coverage, ScenarioStudy, SelfObservation, Study, StudyConfig, StudyError};
 }

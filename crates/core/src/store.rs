@@ -1,0 +1,385 @@
+//! The trace store: fast paths for getting a [`Dataset`] off disk.
+//!
+//! Three ingest modes, fastest first:
+//!
+//! 1. **Binary cache** — a `.tlb` columnar image next to the text file
+//!    (see [`tracelens_model::binio`]). Loaded only when its recorded
+//!    fingerprint matches the current text bytes; anything else (torn,
+//!    corrupt, stale, version-skewed) falls back to the text parse and
+//!    is counted, never fatal.
+//! 2. **Sharded-parallel text** — the input is split on `!trace`
+//!    boundaries and the shards parsed on `tracelens-pool` workers. The
+//!    merged result is byte-identical (via `write_text`) to the serial
+//!    parse at every job count; any shard irregularity (including
+//!    metadata interleaved between traces, which shards cannot see)
+//!    falls back to the serial parse so error messages are identical
+//!    too.
+//! 3. **Serial text** — [`Dataset::read_text_bytes`], the reference
+//!    semantics.
+//!
+//! Every ingest is instrumented under the `ingest` telemetry stage
+//! (span `ingest`, counters `ingest.bytes` / `ingest.events` /
+//! `ingest.shards` / `ingest.cache_hits` / `ingest.cache_fallbacks`),
+//! and the returned [`IngestReport`] carries the heap estimate the
+//! governance layer admits against plus the transport counters
+//! (`io_retries`, cache fallback) that `--sanitize` surfaces through
+//! `SanitizeReport`.
+
+use std::fmt;
+use std::fs::File;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use tracelens_model::textio::{ReadError, RetryPolicy, RetryingReader};
+use tracelens_model::{binio, Dataset, HeapSize};
+use tracelens_obs::{stage, Telemetry};
+use tracelens_pool::Pool;
+
+/// Which path produced the data set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestSource {
+    /// Serial text parse (the reference path).
+    TextSerial,
+    /// Sharded text parse on pool workers, deterministically merged.
+    TextParallel,
+    /// Loaded from a fingerprint-matching `.tlb` cache.
+    BinaryCache,
+}
+
+impl fmt::Display for IngestSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IngestSource::TextSerial => "text (serial)",
+            IngestSource::TextParallel => "text (parallel)",
+            IngestSource::BinaryCache => "binary cache",
+        })
+    }
+}
+
+/// Why a requested `.tlb` cache was not used. Transport-level: the
+/// resulting data set is the same either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFallback {
+    /// No cache file next to the input yet.
+    Missing,
+    /// The cache's fingerprint does not match the current text (the
+    /// input changed since it was packed).
+    Stale,
+    /// The cache failed to load: torn write, bit rot, bad magic, or a
+    /// different format version.
+    Corrupt,
+}
+
+impl fmt::Display for CacheFallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheFallback::Missing => "missing",
+            CacheFallback::Stale => "stale",
+            CacheFallback::Corrupt => "corrupt",
+        })
+    }
+}
+
+/// How one data set was ingested: the path taken, the sizes moved, and
+/// the transport incidents absorbed along the way.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Which path produced the data set.
+    pub source: IngestSource,
+    /// Bytes read from the source (text bytes, or `.tlb` bytes when the
+    /// cache was used).
+    pub bytes: usize,
+    /// Events in the resulting data set.
+    pub events: usize,
+    /// Transient I/O errors absorbed by retried reads.
+    pub io_retries: usize,
+    /// Why the cache was skipped, when `--cache` asked for one.
+    pub cache_fallback: Option<CacheFallback>,
+    /// Whether a fresh `.tlb` cache was written after a text parse.
+    pub cache_written: bool,
+    /// [`HeapSize`] estimate of the resulting data set — the number the
+    /// governance admission controller budgets against.
+    pub dataset_heap_bytes: usize,
+}
+
+impl IngestReport {
+    fn new(source: IngestSource, bytes: usize, ds: &Dataset) -> IngestReport {
+        IngestReport {
+            source,
+            bytes,
+            events: ds.total_events(),
+            io_retries: 0,
+            cache_fallback: None,
+            cache_written: false,
+            dataset_heap_bytes: ds.heap_size(),
+        }
+    }
+}
+
+/// Parses in-memory `.tlt` text, sharded across `pool`'s workers when
+/// the input and the pool allow it.
+///
+/// The result is byte-identical (via `write_text`) to
+/// [`Dataset::read_text_bytes`] at every job count. Whenever the
+/// sharded path cannot reproduce the serial parse exactly — metadata
+/// interleaved between traces, or any shard error — the whole input is
+/// re-parsed serially, so success *and* failure modes match the serial
+/// parser's.
+///
+/// # Errors
+///
+/// The serial parser's [`ReadError`] for malformed input.
+pub fn ingest_bytes(
+    bytes: &[u8],
+    pool: &Pool,
+    telemetry: &Telemetry,
+) -> Result<(Dataset, IngestSource), ReadError> {
+    let _span = telemetry.span(stage::INGEST);
+    telemetry.count("ingest.bytes", bytes.len() as u64);
+    if pool.is_parallel() {
+        if let Some(ds) = try_parallel(bytes, pool, telemetry) {
+            telemetry.count("ingest.events", ds.total_events() as u64);
+            return Ok((ds, IngestSource::TextParallel));
+        }
+    }
+    let ds = Dataset::read_text_bytes(bytes)?;
+    telemetry.count("ingest.events", ds.total_events() as u64);
+    Ok((ds, IngestSource::TextSerial))
+}
+
+/// The sharded parse; `None` means "use the serial parser" (single
+/// shard, non-canonical layout, or any shard/merge error — the serial
+/// pass then produces the authoritative result or error).
+fn try_parallel(bytes: &[u8], pool: &Pool, telemetry: &Telemetry) -> Option<Dataset> {
+    let plan = Dataset::plan_text_shards(bytes).ok()?;
+    if plan.shards().len() < 2 {
+        return None;
+    }
+    telemetry.count("ingest.shards", plan.shards().len() as u64);
+    let outputs = pool.map(plan.shards(), |_, shard| plan.parse_shard(shard));
+    let mut parsed = Vec::with_capacity(outputs.len());
+    for out in outputs {
+        parsed.push(out.ok()?);
+    }
+    plan.merge(parsed).ok()
+}
+
+/// Reads a data set from an arbitrary reader (e.g. stdin), retrying
+/// transient I/O errors, then parsing via [`ingest_bytes`]. No cache is
+/// consulted — streams have no adjacent path to cache against.
+///
+/// # Errors
+///
+/// I/O errors from the reader and parse errors, both as [`ReadError`].
+pub fn ingest_reader<R: Read>(
+    input: R,
+    pool: &Pool,
+    telemetry: &Telemetry,
+) -> Result<(Dataset, IngestReport), ReadError> {
+    let mut reader = RetryingReader::new(input, RetryPolicy::default());
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes).map_err(ReadError::Io)?;
+    let io_retries = reader.retries();
+    let (ds, source) = ingest_bytes(&bytes, pool, telemetry)?;
+    let mut report = IngestReport::new(source, bytes.len(), &ds);
+    report.io_retries = io_retries;
+    Ok((ds, report))
+}
+
+/// Reads a `.tlt` file, optionally through its `.tlb` binary cache.
+///
+/// With `cache` set, the sibling cache path ([`cache_path_for`]) is
+/// consulted first: a cache whose fingerprint matches the current text
+/// bytes is loaded directly; a missing, stale, or corrupt cache is
+/// counted in the report and the text is parsed instead — after which a
+/// fresh cache is written (atomically: temp file + rename, best-effort)
+/// so the next read hits.
+///
+/// # Errors
+///
+/// I/O errors opening/reading the text file and parse errors, both as
+/// [`ReadError`]. Cache problems are never errors.
+pub fn ingest_path(
+    path: &Path,
+    cache: bool,
+    pool: &Pool,
+    telemetry: &Telemetry,
+) -> Result<(Dataset, IngestReport), ReadError> {
+    let file = File::open(path).map_err(ReadError::Io)?;
+    let mut reader = RetryingReader::new(file, RetryPolicy::default());
+    let mut text = Vec::new();
+    reader.read_to_end(&mut text).map_err(ReadError::Io)?;
+    let io_retries = reader.retries();
+
+    if !cache {
+        let (ds, source) = ingest_bytes(&text, pool, telemetry)?;
+        let mut report = IngestReport::new(source, text.len(), &ds);
+        report.io_retries = io_retries;
+        return Ok((ds, report));
+    }
+
+    let cache_path = cache_path_for(path);
+    let fingerprint = binio::fingerprint_bytes(&text);
+    let (cached, fallback) = load_cache(&cache_path, fingerprint, telemetry);
+    if let Some((ds, cache_bytes)) = cached {
+        telemetry.count("ingest.cache_hits", 1);
+        telemetry.count("ingest.events", ds.total_events() as u64);
+        let mut report = IngestReport::new(IngestSource::BinaryCache, cache_bytes, &ds);
+        report.io_retries = io_retries;
+        return Ok((ds, report));
+    }
+
+    let (ds, source) = ingest_bytes(&text, pool, telemetry)?;
+    let mut report = IngestReport::new(source, text.len(), &ds);
+    report.io_retries = io_retries;
+    report.cache_fallback = fallback;
+    if fallback.is_some() {
+        telemetry.count("ingest.cache_fallbacks", 1);
+    }
+    report.cache_written = write_cache(&cache_path, &ds, fingerprint);
+    Ok((ds, report))
+}
+
+/// The cache path for a text data set: the same path with a `.tlb`
+/// extension (`corpus.tlt` → `corpus.tlb`).
+pub fn cache_path_for(path: &Path) -> PathBuf {
+    path.with_extension("tlb")
+}
+
+/// Attempts the cache load. Returns the data set and the cache's byte
+/// size on a fingerprint-matching hit, or the fallback reason.
+fn load_cache(
+    cache_path: &Path,
+    fingerprint: u64,
+    telemetry: &Telemetry,
+) -> (Option<(Dataset, usize)>, Option<CacheFallback>) {
+    let _span = telemetry.span(stage::INGEST);
+    let bytes = match std::fs::read(cache_path) {
+        Ok(bytes) => bytes,
+        Err(_) => return (None, Some(CacheFallback::Missing)),
+    };
+    // Cheap header check first: a stale cache is rejected without
+    // paying for the payload checksum.
+    match binio::header_fingerprint(&bytes) {
+        Some(fp) if fp != fingerprint => return (None, Some(CacheFallback::Stale)),
+        Some(_) => {}
+        None => return (None, Some(CacheFallback::Corrupt)),
+    }
+    match Dataset::read_binary(&bytes) {
+        Ok((ds, _)) => {
+            let len = bytes.len();
+            (Some((ds, len)), None)
+        }
+        Err(_) => (None, Some(CacheFallback::Corrupt)),
+    }
+}
+
+/// Writes the cache atomically (temp sibling + rename). Best-effort: a
+/// read-only directory or full disk just means no cache next time.
+fn write_cache(cache_path: &Path, ds: &Dataset, fingerprint: u64) -> bool {
+    let tmp = cache_path.with_extension("tlb.tmp");
+    let write = || -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        ds.write_binary(fingerprint, &mut f)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, cache_path)
+    };
+    match write() {
+        Ok(()) => true,
+        Err(_) => {
+            let _ = std::fs::remove_file(&tmp);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelens_sim::DatasetBuilder;
+
+    fn text_of(ds: &Dataset) -> Vec<u8> {
+        let mut out = Vec::new();
+        ds.write_text(&mut out).unwrap();
+        out
+    }
+
+    fn corpus(traces: usize) -> Vec<u8> {
+        text_of(&DatasetBuilder::new(77).traces(traces).build())
+    }
+
+    #[test]
+    fn parallel_ingest_is_byte_identical_to_serial() {
+        let text = corpus(12);
+        let serial = Dataset::read_text_bytes(&text).unwrap();
+        for jobs in [1, 2, 8] {
+            let (ds, source) = ingest_bytes(&text, &Pool::new(jobs), &Telemetry::noop()).unwrap();
+            assert_eq!(text_of(&ds), text_of(&serial), "jobs={jobs}");
+            let expect = if jobs == 1 {
+                IngestSource::TextSerial
+            } else {
+                IngestSource::TextParallel
+            };
+            assert_eq!(source, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_reports_serial_errors() {
+        let mut text = corpus(4);
+        text.extend_from_slice(b"e\tbogus\n");
+        let serial = Dataset::read_text_bytes(&text).unwrap_err();
+        let parallel = ingest_bytes(&text, &Pool::new(4), &Telemetry::noop()).unwrap_err();
+        assert_eq!(parallel.to_string(), serial.to_string());
+    }
+
+    #[test]
+    fn cache_roundtrip_hits_and_invalidates() {
+        let dir = std::env::temp_dir().join(format!("tl-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.tlt");
+        std::fs::write(&path, corpus(6)).unwrap();
+        let pool = Pool::sequential();
+        let tm = Telemetry::noop();
+
+        // Cold: no cache yet; one gets written.
+        let (first, r1) = ingest_path(&path, true, &pool, &tm).unwrap();
+        assert_eq!(r1.cache_fallback, Some(CacheFallback::Missing));
+        assert!(r1.cache_written);
+        assert!(cache_path_for(&path).exists());
+
+        // Warm: fingerprint matches, cache is used, same bytes out.
+        let (second, r2) = ingest_path(&path, true, &pool, &tm).unwrap();
+        assert_eq!(r2.source, IngestSource::BinaryCache);
+        assert_eq!(r2.cache_fallback, None);
+        assert_eq!(text_of(&first), text_of(&second));
+
+        // Input changes: stale cache is bypassed and rewritten.
+        std::fs::write(&path, corpus(7)).unwrap();
+        let (_, r3) = ingest_path(&path, true, &pool, &tm).unwrap();
+        assert_eq!(r3.cache_fallback, Some(CacheFallback::Stale));
+        assert!(r3.cache_written);
+
+        // Corrupt cache: truncate it; fallback still yields the data.
+        let cache = cache_path_for(&path);
+        let full = std::fs::read(&cache).unwrap();
+        std::fs::write(&cache, &full[..full.len() / 2]).unwrap();
+        let (fourth, r4) = ingest_path(&path, true, &pool, &tm).unwrap();
+        assert_eq!(r4.cache_fallback, Some(CacheFallback::Corrupt));
+        let (fifth, _) = ingest_path(&path, false, &pool, &tm).unwrap();
+        assert_eq!(text_of(&fourth), text_of(&fifth));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_ingest_never_touches_a_cache() {
+        let text = corpus(3);
+        let (ds, report) =
+            ingest_reader(&text[..], &Pool::sequential(), &Telemetry::noop()).unwrap();
+        assert_eq!(report.source, IngestSource::TextSerial);
+        assert_eq!(report.cache_fallback, None);
+        assert!(!report.cache_written);
+        assert_eq!(report.events, ds.total_events());
+        assert!(report.dataset_heap_bytes > 0);
+    }
+}

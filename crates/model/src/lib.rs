@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binio;
 mod component;
 mod dataset;
 mod event;
@@ -53,6 +54,7 @@ pub mod textio;
 mod time;
 mod validate;
 
+pub use binio::{fingerprint_bytes, header_fingerprint, BinReadError, BIN_FORMAT_VERSION};
 pub use component::{ComponentFilter, DriverType};
 pub use dataset::Dataset;
 pub use event::{Event, EventKind};

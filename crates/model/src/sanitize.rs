@@ -73,6 +73,11 @@ pub struct SanitizeReport {
     /// about the *transport*, not the data, so they do not affect
     /// [`SanitizeReport::is_clean`].
     pub io_retries: usize,
+    /// Binary-cache (`.tlb`) loads abandoned in favor of the text parse
+    /// (missing, stale, or corrupt cache). Like [`Self::io_retries`]
+    /// this is about the transport — the data set that results is the
+    /// same — so it does not affect [`SanitizeReport::is_clean`].
+    pub cache_fallbacks: usize,
 }
 
 impl SanitizeReport {
@@ -136,6 +141,13 @@ impl fmt::Display for SanitizeReport {
             if self.io_retries > 0 {
                 write!(f, " after {} transient i/o retr(ies)", self.io_retries)?;
             }
+            if self.cache_fallbacks > 0 {
+                write!(
+                    f,
+                    " after {} binary-cache fallback(s)",
+                    self.cache_fallbacks
+                )?;
+            }
             return Ok(());
         }
         writeln!(
@@ -154,6 +166,9 @@ impl fmt::Display for SanitizeReport {
         }
         if self.io_retries > 0 {
             writeln!(f, "  transient i/o retries: {}", self.io_retries)?;
+        }
+        if self.cache_fallbacks > 0 {
+            writeln!(f, "  binary-cache fallbacks: {}", self.cache_fallbacks)?;
         }
         Ok(())
     }
@@ -496,6 +511,15 @@ mod tests {
         report.io_retries = 3;
         assert!(report.is_clean(), "retries are transport, not data");
         assert!(report.to_string().contains("3 transient i/o retr(ies)"));
+    }
+
+    #[test]
+    fn cache_fallbacks_show_without_dirtying_the_report() {
+        let ds = valid();
+        let (_, mut report) = ds.sanitize();
+        report.cache_fallbacks = 1;
+        assert!(report.is_clean(), "fallbacks are transport, not data");
+        assert!(report.to_string().contains("1 binary-cache fallback(s)"));
     }
 
     #[test]

@@ -39,7 +39,23 @@ impl fmt::Debug for StackId {
 pub struct StackTable {
     symbols: Interner,
     stacks: Vec<Vec<Symbol>>,
-    index: HashMap<Vec<Symbol>, StackId>,
+    /// Frame-hash → candidate stack ids. Keying by hash instead of by
+    /// an owned `Vec<Symbol>` means interning a new stack materializes
+    /// its frame vector exactly once (in `stacks`); hash collisions
+    /// resolve by comparing candidates against the stored vectors.
+    index: HashMap<u64, Vec<StackId>>,
+}
+
+/// FNV-1a over the little-endian frame-symbol ids.
+fn hash_frames(frames: &[Symbol]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for s in frames {
+        for b in s.0.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
 }
 
 impl StackTable {
@@ -49,13 +65,19 @@ impl StackTable {
     }
 
     /// Interns a stack given as frame symbols (outermost first).
+    ///
+    /// A hit allocates nothing; a miss copies `frames` exactly once.
     pub fn intern(&mut self, frames: &[Symbol]) -> StackId {
-        if let Some(&id) = self.index.get(frames) {
+        let candidates = self.index.entry(hash_frames(frames)).or_default();
+        if let Some(&id) = candidates
+            .iter()
+            .find(|&&id| self.stacks[id.0 as usize].as_slice() == frames)
+        {
             return id;
         }
         let id = StackId(self.stacks.len() as u32);
         self.stacks.push(frames.to_vec());
-        self.index.insert(frames.to_vec(), id);
+        candidates.push(id);
         id
     }
 
@@ -157,7 +179,8 @@ impl StackTable {
 
 impl crate::heapsize::HeapSize for StackTable {
     fn heap_size(&self) -> usize {
-        // The index map duplicates every frame vector as its key.
+        // The index holds only hashes and ids; every frame vector is
+        // stored exactly once, in `stacks`.
         self.symbols.heap_size() + self.stacks.heap_size() + self.index.heap_size()
     }
 }
@@ -208,6 +231,29 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn intern_bucket_index_stays_consistent_at_scale() {
+        let mut t = table();
+        let mut ids = Vec::new();
+        for i in 0..500 {
+            let frames = [
+                t.intern_frame(&format!("m{}!f", i % 7)),
+                t.intern_frame(&format!("m!f{i}")),
+            ];
+            ids.push(t.intern(&frames));
+        }
+        assert_eq!(t.len(), 500);
+        // Every stack re-interns to its original id.
+        for (i, &id) in ids.iter().enumerate() {
+            let frames = [
+                t.intern_frame(&format!("m{}!f", i % 7)),
+                t.intern_frame(&format!("m!f{i}")),
+            ];
+            assert_eq!(t.intern(&frames), id);
+        }
+        assert_eq!(t.len(), 500);
     }
 
     #[test]

@@ -18,14 +18,33 @@
 //! `wtid`), `h` (hardware service). Stack ids must be declared before
 //! use; stacks and scenarios are data-set-global. Blank lines and lines
 //! starting with `#` are ignored.
+//!
+//! ## Ingestion paths
+//!
+//! All reading goes through one single-pass byte scanner
+//! ([`LineParser`] internally): fields are tab-split as `&[u8]` slices,
+//! integers parsed straight from ASCII, frames interned directly from
+//! the slices — no per-line or per-event `Vec` is allocated. Three
+//! entry points share it:
+//!
+//! * [`Dataset::read_text`] — streaming, over any [`BufRead`];
+//! * [`Dataset::read_text_bytes`] — in-memory, the fast serial path;
+//! * [`Dataset::plan_text_shards`] — splits in-memory input on `!trace`
+//!   boundaries into [`Shard`]s that workers parse independently and
+//!   [`ShardPlan::merge`] recombines **byte-identically** (via
+//!   [`Dataset::write_text`]) to the serial parse. Inputs that
+//!   interleave metadata between traces make [`ShardPlan::parse_shard`]
+//!   return [`ShardError::NotCanonical`]; callers then fall back to the
+//!   serial path, which handles every layout.
 
 use crate::component::ComponentFilter;
 use crate::dataset::Dataset;
 use crate::event::EventKind;
 use crate::ids::{ProcessId, ThreadId};
+use crate::intern::Symbol;
 use crate::scenario::{Scenario, ScenarioInstance, ScenarioName, Thresholds};
 use crate::stack::StackId;
-use crate::stream::TraceStreamBuilder;
+use crate::stream::{TraceStream, TraceStreamBuilder};
 use crate::time::TimeNs;
 use std::collections::HashMap;
 use std::error::Error;
@@ -72,6 +91,13 @@ impl Error for ReadError {
 impl From<io::Error> for ReadError {
     fn from(e: io::Error) -> Self {
         ReadError::Io(e)
+    }
+}
+
+fn err(line: usize, message: &str) -> ReadError {
+    ReadError::Parse {
+        line,
+        message: message.to_owned(),
     }
 }
 
@@ -148,147 +174,97 @@ impl Dataset {
     ///
     /// Returns [`ReadError::Parse`] with the offending line number for
     /// any malformed record, unknown stack id, or missing header.
-    pub fn read_text<R: BufRead>(input: R) -> Result<Dataset, ReadError> {
-        let mut ds = Dataset::new();
-        // Maps declared stack ids to interned ids (they may differ if
-        // the file's ids are sparse).
-        let mut stack_ids: HashMap<u32, StackId> = HashMap::new();
-        let mut current: Option<(u32, TraceStreamBuilder)> = None;
-        let mut saw_header = false;
+    pub fn read_text<R: BufRead>(mut input: R) -> Result<Dataset, ReadError> {
+        let mut parser = LineParser::default();
+        let mut buf = Vec::with_capacity(256);
+        let mut lineno = 0usize;
+        loop {
+            buf.clear();
+            if input.read_until(b'\n', &mut buf)? == 0 {
+                break;
+            }
+            lineno += 1;
+            parser.line(&buf, lineno)?;
+        }
+        parser.finish()
+    }
 
-        let err = |line: usize, message: &str| ReadError::Parse {
-            line,
-            message: message.to_owned(),
-        };
+    /// Reads a data set from in-memory text.
+    ///
+    /// Semantically identical to [`Dataset::read_text`] over the same
+    /// bytes, but with no per-line buffer copies — the scanner works on
+    /// slices of `bytes` directly. This is the serial reference that
+    /// sharded-parallel ingestion is checked against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dataset::read_text`].
+    pub fn read_text_bytes(bytes: &[u8]) -> Result<Dataset, ReadError> {
+        let mut parser = LineParser::default();
+        for (idx, line) in bytes.split(|&b| b == b'\n').enumerate() {
+            parser.line(line, idx + 1)?;
+        }
+        parser.finish()
+    }
 
-        for (idx, line) in input.lines().enumerate() {
-            let lineno = idx + 1;
-            let line = line?;
-            let line = line.trim_end_matches(['\r', '\n']);
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+    /// Plans sharded-parallel ingestion of in-memory text: parses the
+    /// preamble (header, scenarios, stacks — everything before the
+    /// first `!trace`) serially and splits the rest on `!trace` line
+    /// boundaries into independently parseable [`Shard`]s.
+    ///
+    /// Workers run [`ShardPlan::parse_shard`] over [`ShardPlan::shards`]
+    /// in any order; [`ShardPlan::merge`] recombines the outputs *in
+    /// shard order* into a data set byte-identical to the serial parse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serial parser's error for a malformed preamble.
+    pub fn plan_text_shards(bytes: &[u8]) -> Result<ShardPlan<'_>, ReadError> {
+        let mut parser = LineParser::default();
+        let mut shard_starts: Vec<(usize, usize)> = Vec::new();
+        let mut offset = 0usize;
+        let mut lineno = 0usize;
+        let mut in_preamble = true;
+        while offset < bytes.len() {
+            let end = bytes[offset..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|i| offset + i + 1)
+                .unwrap_or(bytes.len());
+            lineno += 1;
+            let line = &bytes[offset..end];
+            if tag_of(trim_line(line)) == b"!trace" {
+                in_preamble = false;
+                shard_starts.push((offset, lineno));
+            } else if in_preamble {
+                parser.line(line, lineno)?;
             }
-            let fields: Vec<&str> = line.split('\t').collect();
-            match fields[0] {
-                "!tracelens" => {
-                    let v: u32 = fields
-                        .get(1)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| err(lineno, "missing format version"))?;
-                    if v != FORMAT_VERSION {
-                        return Err(err(lineno, &format!("unsupported version {v}")));
-                    }
-                    saw_header = true;
-                }
-                "!scenario" => {
-                    if fields.len() != 4 {
-                        return Err(err(lineno, "!scenario needs name, t_fast, t_slow"));
-                    }
-                    let fast: u64 = fields[2].parse().map_err(|_| err(lineno, "bad t_fast"))?;
-                    let slow: u64 = fields[3].parse().map_err(|_| err(lineno, "bad t_slow"))?;
-                    if fast >= slow {
-                        return Err(err(lineno, "t_fast must be below t_slow"));
-                    }
-                    ds.scenarios.push(Scenario::new(
-                        ScenarioName::new(fields[1]),
-                        Thresholds::new(TimeNs(fast), TimeNs(slow)),
-                    ));
-                }
-                "!stack" => {
-                    if fields.len() < 2 {
-                        return Err(err(lineno, "!stack needs an id"));
-                    }
-                    let raw: u32 = fields[1].parse().map_err(|_| err(lineno, "bad stack id"))?;
-                    let interned = ds.stacks.intern_symbols(&fields[2..]);
-                    stack_ids.insert(raw, interned);
-                }
-                "!trace" => {
-                    if let Some((_, b)) = current.take() {
-                        ds.streams.push(
-                            b.finish().map_err(|e| {
-                                err(lineno, &format!("previous trace invalid: {e}"))
-                            })?,
-                        );
-                    }
-                    let id: u32 = fields
-                        .get(1)
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| err(lineno, "bad trace id"))?;
-                    current = Some((id, TraceStreamBuilder::new(id)));
-                }
-                "e" => {
-                    if !saw_header {
-                        return Err(err(lineno, "missing !tracelens header"));
-                    }
-                    let Some((_, builder)) = current.as_mut() else {
-                        return Err(err(lineno, "event outside a !trace section"));
-                    };
-                    if fields.len() < 7 {
-                        return Err(err(lineno, "event needs kind,tid,pid,t,cost,stack"));
-                    }
-                    let tid = ThreadId(fields[2].parse().map_err(|_| err(lineno, "bad tid"))?);
-                    let pid = ProcessId(fields[3].parse().map_err(|_| err(lineno, "bad pid"))?);
-                    let t = TimeNs(fields[4].parse().map_err(|_| err(lineno, "bad t"))?);
-                    let cost = TimeNs(fields[5].parse().map_err(|_| err(lineno, "bad cost"))?);
-                    let raw_stack: u32 =
-                        fields[6].parse().map_err(|_| err(lineno, "bad stack id"))?;
-                    let stack = *stack_ids
-                        .get(&raw_stack)
-                        .ok_or_else(|| err(lineno, "undeclared stack id"))?;
-                    builder.set_process(pid);
-                    match fields[1] {
-                        "r" => builder.push_running(tid, t, cost, stack),
-                        "w" => builder.push_wait(tid, t, cost, stack),
-                        "h" => builder.push_hardware(tid, t, cost, stack),
-                        "u" => {
-                            let w: u32 = fields
-                                .get(7)
-                                .and_then(|s| s.parse().ok())
-                                .ok_or_else(|| err(lineno, "unwait needs wtid"))?;
-                            builder.push_unwait(tid, ThreadId(w), t, stack)
-                        }
-                        other => return Err(err(lineno, &format!("unknown event kind {other:?}"))),
-                    };
-                }
-                "!instance" => {
-                    if fields.len() != 6 {
-                        return Err(err(lineno, "!instance needs trace,tid,t0,t1,scenario"));
-                    }
-                    let trace: u32 = fields[1].parse().map_err(|_| err(lineno, "bad trace id"))?;
-                    let tid: u32 = fields[2].parse().map_err(|_| err(lineno, "bad tid"))?;
-                    let t0: u64 = fields[3].parse().map_err(|_| err(lineno, "bad t0"))?;
-                    let t1: u64 = fields[4].parse().map_err(|_| err(lineno, "bad t1"))?;
-                    if t0 > t1 {
-                        return Err(err(lineno, "instance t0 after t1"));
-                    }
-                    ds.instances.push(ScenarioInstance {
-                        trace: crate::ids::TraceId(trace),
-                        scenario: ScenarioName::new(fields[5]),
-                        tid: ThreadId(tid),
-                        t0: TimeNs(t0),
-                        t1: TimeNs(t1),
-                    });
-                }
-                other => return Err(err(lineno, &format!("unknown record {other:?}"))),
-            }
+            offset = end;
         }
-        if let Some((_, b)) = current.take() {
-            ds.streams.push(
-                b.finish()
-                    .map_err(|e| err(0, &format!("final trace invalid: {e}")))?,
-            );
+        let mut shards = Vec::with_capacity(shard_starts.len());
+        for (i, &(start, first_line)) in shard_starts.iter().enumerate() {
+            let (end, next_trace_line) = match shard_starts.get(i + 1) {
+                Some(&(next_start, next_line)) => (next_start, next_line),
+                None => (bytes.len(), 0),
+            };
+            shards.push(Shard {
+                bytes: &bytes[start..end],
+                first_line,
+                next_trace_line,
+            });
         }
-        if !saw_header {
-            return Err(err(0, "missing !tracelens header"));
-        }
-        // Streams must be indexable by their TraceId.
-        ds.streams.sort_by_key(|s| s.id().0);
-        for (i, s) in ds.streams.iter().enumerate() {
-            if s.id().0 as usize != i {
-                return Err(err(0, "trace ids must be dense, starting at 0"));
-            }
-        }
-        Ok(ds)
+        let LineParser {
+            ds,
+            stack_ids,
+            saw_header,
+            ..
+        } = parser;
+        Ok(ShardPlan {
+            base: ds,
+            stack_ids,
+            saw_header,
+            shards,
+        })
     }
 
     /// [`Dataset::read_text`] behind a [`RetryingReader`]: transient
@@ -305,6 +281,474 @@ impl Dataset {
         let mut reader = io::BufReader::new(RetryingReader::new(input, policy));
         let ds = Dataset::read_text(&mut reader)?;
         Ok((ds, reader.into_inner().retries()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The byte scanner
+// ---------------------------------------------------------------------
+
+/// Maximum fields any fixed-arity record carries; extra fields beyond
+/// this are counted (the exact-arity checks need the true count) but
+/// never inspected. `!stack` lines have unbounded arity and are
+/// dispatched separately.
+const MAX_FIELDS: usize = 8;
+
+/// Strips the trailing `\r`/`\n` bytes a line split leaves behind.
+fn trim_line(mut line: &[u8]) -> &[u8] {
+    while let [rest @ .., b'\r' | b'\n'] = line {
+        line = rest;
+    }
+    line
+}
+
+/// The first tab-separated field of a (trimmed, non-empty) line.
+fn tag_of(line: &[u8]) -> &[u8] {
+    match line.iter().position(|&b| b == b'\t') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Tab-splits `line` into `store`, returning the true field count
+/// (fields past [`MAX_FIELDS`] are counted, not stored).
+fn split_fields<'a>(line: &'a [u8], store: &mut [&'a [u8]; MAX_FIELDS]) -> usize {
+    let mut n = 0;
+    for field in line.split(|&b| b == b'\t') {
+        if n < MAX_FIELDS {
+            store[n] = field;
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Parses a decimal `u64` straight from ASCII bytes.
+fn parse_u64(field: &[u8]) -> Option<u64> {
+    if field.is_empty() {
+        return None;
+    }
+    let mut value: u64 = 0;
+    for &b in field {
+        let digit = u64::from(b.wrapping_sub(b'0'));
+        if digit > 9 {
+            return None;
+        }
+        value = value.checked_mul(10)?.checked_add(digit)?;
+    }
+    Some(value)
+}
+
+fn parse_u32(field: &[u8]) -> Option<u32> {
+    parse_u64(field).and_then(|v| u32::try_from(v).ok())
+}
+
+/// Validates a text field (frame, scenario name) as UTF-8.
+fn utf8(field: &[u8], lineno: usize) -> Result<&str, ReadError> {
+    std::str::from_utf8(field).map_err(|_| err(lineno, "invalid utf-8 in text field"))
+}
+
+/// The per-line state machine shared by every text ingestion path.
+#[derive(Debug, Default)]
+struct LineParser {
+    ds: Dataset,
+    /// Maps declared stack ids to interned ids (they may differ if the
+    /// file's ids are sparse).
+    stack_ids: HashMap<u32, StackId>,
+    current: Option<TraceStreamBuilder>,
+    saw_header: bool,
+    /// Reusable scratch for the frame symbols of a `!stack` line.
+    frames: Vec<Symbol>,
+}
+
+impl LineParser {
+    fn line(&mut self, raw: &[u8], lineno: usize) -> Result<(), ReadError> {
+        let line = trim_line(raw);
+        if line.is_empty() || line[0] == b'#' {
+            return Ok(());
+        }
+        if tag_of(line) == b"!stack" {
+            return self.stack_line(line, lineno);
+        }
+        let mut f: [&[u8]; MAX_FIELDS] = [b""; MAX_FIELDS];
+        let n = split_fields(line, &mut f);
+        match f[0] {
+            b"!tracelens" => {
+                let v = (n > 1)
+                    .then(|| parse_u32(f[1]))
+                    .flatten()
+                    .ok_or_else(|| err(lineno, "missing format version"))?;
+                if v != FORMAT_VERSION {
+                    return Err(err(lineno, &format!("unsupported version {v}")));
+                }
+                self.saw_header = true;
+            }
+            b"!scenario" => {
+                if n != 4 {
+                    return Err(err(lineno, "!scenario needs name, t_fast, t_slow"));
+                }
+                let fast = parse_u64(f[2]).ok_or_else(|| err(lineno, "bad t_fast"))?;
+                let slow = parse_u64(f[3]).ok_or_else(|| err(lineno, "bad t_slow"))?;
+                if fast >= slow {
+                    return Err(err(lineno, "t_fast must be below t_slow"));
+                }
+                self.ds.scenarios.push(Scenario::new(
+                    ScenarioName::new(utf8(f[1], lineno)?),
+                    Thresholds::new(TimeNs(fast), TimeNs(slow)),
+                ));
+            }
+            b"!trace" => {
+                if let Some(b) = self.current.take() {
+                    self.ds.streams.push(
+                        b.finish()
+                            .map_err(|e| err(lineno, &format!("previous trace invalid: {e}")))?,
+                    );
+                }
+                let id = (n > 1)
+                    .then(|| parse_u32(f[1]))
+                    .flatten()
+                    .ok_or_else(|| err(lineno, "bad trace id"))?;
+                self.current = Some(TraceStreamBuilder::new(id));
+            }
+            b"e" => {
+                if !self.saw_header {
+                    return Err(err(lineno, "missing !tracelens header"));
+                }
+                let Some(builder) = self.current.as_mut() else {
+                    return Err(err(lineno, "event outside a !trace section"));
+                };
+                parse_event(&f, n, lineno, &self.stack_ids, builder)?;
+            }
+            b"!instance" => {
+                self.ds.instances.push(parse_instance(&f, n, lineno)?);
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    &format!("unknown record {:?}", String::from_utf8_lossy(other)),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// `!stack` lines carry one field per frame, so they stream their
+    /// fields instead of going through the fixed-arity store.
+    fn stack_line(&mut self, line: &[u8], lineno: usize) -> Result<(), ReadError> {
+        let mut fields = line.split(|&b| b == b'\t');
+        fields.next(); // the "!stack" tag
+        let Some(id_field) = fields.next() else {
+            return Err(err(lineno, "!stack needs an id"));
+        };
+        let raw = parse_u32(id_field).ok_or_else(|| err(lineno, "bad stack id"))?;
+        self.frames.clear();
+        for frame in fields {
+            let frame = utf8(frame, lineno)?;
+            self.frames.push(self.ds.stacks.intern_frame(frame));
+        }
+        let interned = self.ds.stacks.intern(&self.frames);
+        self.stack_ids.insert(raw, interned);
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Dataset, ReadError> {
+        if let Some(b) = self.current.take() {
+            self.ds.streams.push(
+                b.finish()
+                    .map_err(|e| err(0, &format!("final trace invalid: {e}")))?,
+            );
+        }
+        if !self.saw_header {
+            return Err(err(0, "missing !tracelens header"));
+        }
+        let mut ds = self.ds;
+        finish_streams(&mut ds)?;
+        Ok(ds)
+    }
+}
+
+/// End-of-input validation shared by the serial and sharded paths:
+/// streams must sort into dense, position-matching ids.
+fn finish_streams(ds: &mut Dataset) -> Result<(), ReadError> {
+    ds.streams.sort_by_key(|s| s.id().0);
+    for (i, s) in ds.streams.iter().enumerate() {
+        if s.id().0 as usize != i {
+            return Err(err(0, "trace ids must be dense, starting at 0"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses one `e` record into `builder` — shared by the serial parser
+/// and the shard parser so both paths agree to the byte.
+fn parse_event(
+    f: &[&[u8]; MAX_FIELDS],
+    n: usize,
+    lineno: usize,
+    stack_ids: &HashMap<u32, StackId>,
+    builder: &mut TraceStreamBuilder,
+) -> Result<(), ReadError> {
+    if n < 7 {
+        return Err(err(lineno, "event needs kind,tid,pid,t,cost,stack"));
+    }
+    let tid = ThreadId(parse_u32(f[2]).ok_or_else(|| err(lineno, "bad tid"))?);
+    let pid = ProcessId(parse_u32(f[3]).ok_or_else(|| err(lineno, "bad pid"))?);
+    let t = TimeNs(parse_u64(f[4]).ok_or_else(|| err(lineno, "bad t"))?);
+    let cost = TimeNs(parse_u64(f[5]).ok_or_else(|| err(lineno, "bad cost"))?);
+    let raw_stack = parse_u32(f[6]).ok_or_else(|| err(lineno, "bad stack id"))?;
+    let stack = *stack_ids
+        .get(&raw_stack)
+        .ok_or_else(|| err(lineno, "undeclared stack id"))?;
+    builder.set_process(pid);
+    match f[1] {
+        b"r" => builder.push_running(tid, t, cost, stack),
+        b"w" => builder.push_wait(tid, t, cost, stack),
+        b"h" => builder.push_hardware(tid, t, cost, stack),
+        b"u" => {
+            let w = (n > 7)
+                .then(|| parse_u32(f[7]))
+                .flatten()
+                .ok_or_else(|| err(lineno, "unwait needs wtid"))?;
+            builder.push_unwait(tid, ThreadId(w), t, stack)
+        }
+        other => {
+            return Err(err(
+                lineno,
+                &format!("unknown event kind {:?}", String::from_utf8_lossy(other)),
+            ))
+        }
+    };
+    Ok(())
+}
+
+fn parse_instance(
+    f: &[&[u8]; MAX_FIELDS],
+    n: usize,
+    lineno: usize,
+) -> Result<ScenarioInstance, ReadError> {
+    if n != 6 {
+        return Err(err(lineno, "!instance needs trace,tid,t0,t1,scenario"));
+    }
+    let trace = parse_u32(f[1]).ok_or_else(|| err(lineno, "bad trace id"))?;
+    let tid = parse_u32(f[2]).ok_or_else(|| err(lineno, "bad tid"))?;
+    let t0 = parse_u64(f[3]).ok_or_else(|| err(lineno, "bad t0"))?;
+    let t1 = parse_u64(f[4]).ok_or_else(|| err(lineno, "bad t1"))?;
+    if t0 > t1 {
+        return Err(err(lineno, "instance t0 after t1"));
+    }
+    Ok(ScenarioInstance {
+        trace: crate::ids::TraceId(trace),
+        scenario: ScenarioName::new(utf8(f[5], lineno)?),
+        tid: ThreadId(tid),
+        t0: TimeNs(t0),
+        t1: TimeNs(t1),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Sharded-parallel ingestion
+// ---------------------------------------------------------------------
+
+/// A deterministic plan for parsing one in-memory text data set on
+/// multiple workers: the serially parsed preamble plus the `!trace`
+/// sections as independent [`Shard`]s. See
+/// [`Dataset::plan_text_shards`].
+#[derive(Debug)]
+pub struct ShardPlan<'a> {
+    /// Preamble result: scenarios, stacks, and any instances recorded
+    /// before the first trace.
+    base: Dataset,
+    stack_ids: HashMap<u32, StackId>,
+    saw_header: bool,
+    shards: Vec<Shard<'a>>,
+}
+
+/// One independently parseable slice of a [`ShardPlan`]: a single
+/// `!trace` section together with the `!instance` records up to the
+/// next one.
+#[derive(Debug, Clone, Copy)]
+pub struct Shard<'a> {
+    bytes: &'a [u8],
+    /// 1-based line number of the shard's `!trace` line.
+    first_line: usize,
+    /// Line number of the *next* shard's `!trace` line, 0 for the last
+    /// shard — stream-validation errors are attributed exactly as the
+    /// serial parser attributes them.
+    next_trace_line: usize,
+}
+
+impl Shard<'_> {
+    /// The shard's byte length (for size-balancing diagnostics).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the shard holds no bytes (cannot happen for planned
+    /// shards, which always start with a `!trace` line).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Output of parsing one [`Shard`]: the sealed stream and the instances
+/// recorded in the shard's slice, in input order.
+#[derive(Debug)]
+pub struct ShardOutput {
+    stream: TraceStream,
+    instances: Vec<ScenarioInstance>,
+}
+
+impl crate::heapsize::HeapSize for ShardOutput {
+    fn heap_size(&self) -> usize {
+        self.stream.heap_size() + self.instances.heap_size()
+    }
+}
+
+impl crate::heapsize::HeapSize for ShardPlan<'_> {
+    fn heap_size(&self) -> usize {
+        // Shards are borrows into the caller's input buffer; only their
+        // bookkeeping (the Vec itself) counts.
+        self.base.heap_size()
+            + self.stack_ids.heap_size()
+            + self.shards.capacity() * std::mem::size_of::<Shard<'_>>()
+    }
+}
+
+/// Why one shard could not be parsed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The shard interleaves data-set-global metadata (`!tracelens`,
+    /// `!scenario`, `!stack`) between traces — legal in the format but
+    /// unshardable, since shards parse against a preamble snapshot.
+    /// Callers fall back to the serial parser, which handles it.
+    NotCanonical,
+    /// A genuine parse error, identical to the serial parser's.
+    Parse(ReadError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::NotCanonical => {
+                write!(f, "metadata interleaved between traces; parse serially")
+            }
+            ShardError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for ShardError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ShardError::NotCanonical => None,
+            ShardError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl<'a> ShardPlan<'a> {
+    /// The planned shards, in input order.
+    pub fn shards(&self) -> &[Shard<'a>] {
+        &self.shards
+    }
+
+    /// Parses one shard. Pure and immutable over the plan, so shards
+    /// can run on any worker in any order.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::NotCanonical`] for metadata interleaved between
+    /// traces (fall back to [`Dataset::read_text_bytes`]);
+    /// [`ShardError::Parse`] for malformed records.
+    pub fn parse_shard(&self, shard: &Shard<'a>) -> Result<ShardOutput, ShardError> {
+        let mut f: [&[u8]; MAX_FIELDS] = [b""; MAX_FIELDS];
+        let mut builder: Option<TraceStreamBuilder> = None;
+        let mut instances = Vec::new();
+        for (idx, raw) in shard.bytes.split(|&b| b == b'\n').enumerate() {
+            let lineno = shard.first_line + idx;
+            let line = trim_line(raw);
+            if line.is_empty() || line[0] == b'#' {
+                continue;
+            }
+            if tag_of(line) == b"!stack" {
+                return Err(ShardError::NotCanonical);
+            }
+            let n = split_fields(line, &mut f);
+            match f[0] {
+                b"!trace" => {
+                    if builder.is_some() {
+                        // Unreachable: plans split on every `!trace`
+                        // line. Kept as a fallback, not a panic.
+                        return Err(ShardError::NotCanonical);
+                    }
+                    let id = (n > 1)
+                        .then(|| parse_u32(f[1]))
+                        .flatten()
+                        .ok_or_else(|| ShardError::Parse(err(lineno, "bad trace id")))?;
+                    builder = Some(TraceStreamBuilder::new(id));
+                }
+                b"e" => {
+                    if !self.saw_header {
+                        return Err(ShardError::Parse(err(lineno, "missing !tracelens header")));
+                    }
+                    let Some(b) = builder.as_mut() else {
+                        return Err(ShardError::Parse(err(
+                            lineno,
+                            "event outside a !trace section",
+                        )));
+                    };
+                    parse_event(&f, n, lineno, &self.stack_ids, b).map_err(ShardError::Parse)?;
+                }
+                b"!instance" => {
+                    instances.push(parse_instance(&f, n, lineno).map_err(ShardError::Parse)?)
+                }
+                b"!tracelens" | b"!scenario" => return Err(ShardError::NotCanonical),
+                other => {
+                    return Err(ShardError::Parse(err(
+                        lineno,
+                        &format!("unknown record {:?}", String::from_utf8_lossy(other)),
+                    )))
+                }
+            }
+        }
+        let Some(builder) = builder else {
+            // Unreachable: every planned shard starts with `!trace`.
+            return Err(ShardError::NotCanonical);
+        };
+        let stream = builder.finish().map_err(|e| {
+            ShardError::Parse(if shard.next_trace_line == 0 {
+                err(0, &format!("final trace invalid: {e}"))
+            } else {
+                err(
+                    shard.next_trace_line,
+                    &format!("previous trace invalid: {e}"),
+                )
+            })
+        })?;
+        Ok(ShardOutput { stream, instances })
+    }
+
+    /// Merges per-shard outputs — **in shard order** — into the final
+    /// data set, applying the same end-of-input validation as the
+    /// serial parser. The result is byte-identical (via
+    /// [`Dataset::write_text`]) to [`Dataset::read_text_bytes`] over
+    /// the same input.
+    ///
+    /// # Errors
+    ///
+    /// Same end-of-input errors as the serial parser: missing header,
+    /// non-dense trace ids.
+    pub fn merge(self, outputs: Vec<ShardOutput>) -> Result<Dataset, ReadError> {
+        let mut ds = self.base;
+        for out in outputs {
+            ds.streams.push(out.stream);
+            ds.instances.extend(out.instances);
+        }
+        if !self.saw_header {
+            return Err(err(0, "missing !tracelens header"));
+        }
+        finish_streams(&mut ds)?;
+        Ok(ds)
     }
 }
 
@@ -466,6 +910,12 @@ mod tests {
         Dataset::read_text(BufReader::new(buf.as_slice())).unwrap()
     }
 
+    fn bytes_of(ds: &Dataset) -> Vec<u8> {
+        let mut buf = Vec::new();
+        ds.write_text(&mut buf).unwrap();
+        buf
+    }
+
     #[test]
     fn round_trips_events_and_metadata() {
         let ds = tiny();
@@ -545,6 +995,127 @@ mod tests {
         let ds = Dataset::read_text(BufReader::new(text.as_bytes())).unwrap();
         assert_eq!(ds.streams.len(), 1);
         assert!(ds.streams[0].is_empty());
+    }
+
+    #[test]
+    fn read_text_bytes_matches_streaming_reader() {
+        let text = bytes_of(&tiny());
+        let a = Dataset::read_text(BufReader::new(text.as_slice())).unwrap();
+        let b = Dataset::read_text_bytes(&text).unwrap();
+        assert_eq!(bytes_of(&a), bytes_of(&b));
+    }
+
+    #[test]
+    fn byte_scanner_rejects_non_numeric_fields() {
+        for (line, what) in [
+            ("e\tr\tx\t1\t0\t5\t0", "bad tid"),
+            ("e\tr\t1\t1\t-3\t5\t0", "bad t"),
+            ("e\tq\t1\t1\t0\t5\t0", "unknown event kind"),
+            ("e\tr\t1\t1\t0\t5", "event needs"),
+        ] {
+            let text = format!("!tracelens\t1\n!stack\t0\ta!b\n!trace\t0\n{line}\n");
+            let e = Dataset::read_text_bytes(text.as_bytes()).unwrap_err();
+            assert!(e.to_string().contains(what), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn numeric_overflow_is_a_parse_error() {
+        let text = "!tracelens\t1\n!trace\t99999999999999999999\n";
+        let e = Dataset::read_text_bytes(text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("bad trace id"), "{e}");
+    }
+
+    #[test]
+    fn crlf_lines_parse() {
+        let text = "!tracelens\t1\r\n!trace\t0\r\n";
+        let ds = Dataset::read_text_bytes(text.as_bytes()).unwrap();
+        assert_eq!(ds.streams.len(), 1);
+    }
+
+    #[test]
+    fn shard_plan_round_trips_byte_identically() {
+        let mut ds = tiny();
+        // A second stream so there is more than one shard.
+        let st = ds.stacks.intern_symbols(&["net.sys!Recv"]);
+        let mut b = TraceStreamBuilder::new(1);
+        b.push_running(ThreadId(9), TimeNs(5), TimeNs(2), st);
+        ds.streams.push(b.finish().unwrap());
+        let text = bytes_of(&ds);
+
+        let plan = Dataset::plan_text_shards(&text).unwrap();
+        assert_eq!(plan.shards().len(), 2);
+        let outputs: Vec<ShardOutput> = plan
+            .shards()
+            .iter()
+            .map(|s| plan.parse_shard(s).unwrap())
+            .collect();
+        let merged = plan.merge(outputs).unwrap();
+        assert_eq!(bytes_of(&merged), text);
+        assert_eq!(
+            bytes_of(&merged),
+            bytes_of(&Dataset::read_text_bytes(&text).unwrap())
+        );
+    }
+
+    #[test]
+    fn interleaved_metadata_is_not_canonical() {
+        // A !stack declared between two traces: legal serially, but the
+        // shard holding it must refuse rather than mis-parse.
+        let text = "!tracelens\t1\n!trace\t0\n!stack\t0\ta!b\n!trace\t1\n";
+        let plan = Dataset::plan_text_shards(text.as_bytes()).unwrap();
+        assert_eq!(plan.shards().len(), 2);
+        let first = plan.parse_shard(&plan.shards()[0]);
+        assert!(matches!(first, Err(ShardError::NotCanonical)), "{first:?}");
+        // The serial path handles the same input fine.
+        assert_eq!(
+            Dataset::read_text_bytes(text.as_bytes())
+                .unwrap()
+                .stacks
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn shard_errors_carry_serial_line_numbers() {
+        // Line 4 holds a bad event; the shard parser must attribute it
+        // exactly as the serial parser does.
+        let text = "!tracelens\t1\n!stack\t0\ta!b\n!trace\t0\ne\tr\tbad\t1\t0\t5\t0\n";
+        let serial = Dataset::read_text_bytes(text.as_bytes()).unwrap_err();
+        let plan = Dataset::plan_text_shards(text.as_bytes()).unwrap();
+        let sharded = plan.parse_shard(&plan.shards()[0]).unwrap_err();
+        match (serial, sharded) {
+            (
+                ReadError::Parse { line, message },
+                ShardError::Parse(ReadError::Parse {
+                    line: l2,
+                    message: m2,
+                }),
+            ) => {
+                assert_eq!((line, message.as_str()), (l2, m2.as_str()));
+                assert_eq!(l2, 4);
+            }
+            other => panic!("expected matching parse errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preamble_instances_merge_before_shard_instances() {
+        // An instance before the first trace must stay first after the
+        // sharded merge, matching serial file order.
+        let text = "!tracelens\t1\n!scenario\tS\t1\t2\n\
+                    !instance\t0\t1\t0\t0\tS\n!trace\t0\n!instance\t0\t2\t0\t0\tS\n";
+        let serial = Dataset::read_text_bytes(text.as_bytes()).unwrap();
+        let plan = Dataset::plan_text_shards(text.as_bytes()).unwrap();
+        let outputs: Vec<ShardOutput> = plan
+            .shards()
+            .iter()
+            .map(|s| plan.parse_shard(s).unwrap())
+            .collect();
+        let merged = plan.merge(outputs).unwrap();
+        assert_eq!(bytes_of(&merged), bytes_of(&serial));
+        assert_eq!(merged.instances[0].tid, ThreadId(1));
     }
 
     /// Fails every other `read` call with a transient kind, losing no

@@ -106,6 +106,10 @@ pub mod stage {
     /// shedding decisions. Not part of [`PIPELINE`]: governance wraps
     /// the other stages like supervision does.
     pub const GOVERN: &str = "govern";
+    /// Trace-store ingestion: text parse (serial or sharded-parallel)
+    /// or binary-cache load, plus cache writes. Not part of
+    /// [`PIPELINE`]: it only runs when loading external data sets.
+    pub const INGEST: &str = "ingest";
 
     /// The pipeline stages every full analysis run reports, in order.
     pub const PIPELINE: &[&str] = &[

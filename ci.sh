@@ -162,4 +162,66 @@ for r in j['runs']:
 " "$GOV_JSON"
 rm -f "$GOV_JSON"
 
+echo "== chaos campaign (25 composite fault configs, every oracle) =="
+# A seeded campaign over composite fault configurations — all six
+# planes armed in random combinations — must pass every cross-cutting
+# oracle with nothing for the minimizer to do, and campaign stdout
+# must be byte-identical at every worker count.
+CHAOS_DIR="$(mktemp -d)"
+"$TL" chaos --seed 9 --runs 25 --repro-out "$CHAOS_DIR/repro.toml" \
+    > "$CHAOS_DIR/j0.txt" 2> /dev/null
+grep -q 'violations: 0$' "$CHAOS_DIR/j0.txt"
+grep -q 'minimizer: idle' "$CHAOS_DIR/j0.txt"
+test ! -e "$CHAOS_DIR/repro.toml"
+"$TL" chaos --seed 9 --runs 25 --jobs 1 --repro-out "$CHAOS_DIR/repro.toml" \
+    > "$CHAOS_DIR/j1.txt" 2> /dev/null
+"$TL" chaos --seed 9 --runs 25 --jobs 8 --repro-out "$CHAOS_DIR/repro.toml" \
+    > "$CHAOS_DIR/j8.txt" 2> /dev/null
+cmp "$CHAOS_DIR/j0.txt" "$CHAOS_DIR/j1.txt"
+cmp "$CHAOS_DIR/j0.txt" "$CHAOS_DIR/j8.txt"
+
+echo "== chaos efficacy (planted bug must be caught and minimized) =="
+# The harness is tested in both directions: with a planted coverage-
+# accounting bug the campaign must fail, and the minimized repro must
+# shrink to at most two active planes and replay to the same violation.
+if "$TL" chaos --seed 9 --runs 25 --inject-known-bug \
+    --repro-out "$CHAOS_DIR/repro.toml" > /dev/null 2> /dev/null; then
+    echo "chaos campaign missed the planted bug" >&2
+    exit 1
+fi
+test -s "$CHAOS_DIR/repro.toml"
+python3 -c "
+import sys
+knobs = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line or line.startswith('#') or line.startswith('['):
+        continue
+    key, _, value = line.partition('=')
+    value = value.strip()
+    knobs[key.strip()] = {'true': 1.0, 'false': 0.0}.get(value) \
+        if value in ('true', 'false') else float(value)
+active = sum([
+    knobs['corruption_eps'] > 0,
+    knobs['read_fault_rate'] > 0,
+    knobs['exec_panic_rate'] > 0 or knobs['exec_slow_rate'] > 0,
+    knobs['mem_rate'] > 0 and knobs['mem_factor'] > 1 and knobs['mem_budget_mb'] > 0,
+    knobs['torn_checkpoint_per_mille'] > 0,
+    knobs['torn_cache_per_mille'] > 0,
+])
+assert active <= 2, f'minimized repro arms {active} planes, expected <= 2'
+" "$CHAOS_DIR/repro.toml"
+if ! "$TL" chaos --replay "$CHAOS_DIR/repro.toml" --inject-known-bug \
+    > /dev/null 2> /dev/null; then :; else
+    echo "minimized repro did not replay to a violation" >&2
+    exit 1
+fi
+"$TL" chaos --replay "$CHAOS_DIR/repro.toml" > /dev/null 2> /dev/null
+rm -rf "$CHAOS_DIR"
+
+if [ "${TRACELENS_CHAOS_FULL:-0}" = "1" ]; then
+    echo "== chaos campaign, full (500 configs) =="
+    "$TL" chaos --seed 9 --runs 500 > /dev/null 2> /dev/null
+fi
+
 echo "CI OK"

@@ -1,0 +1,147 @@
+//! R4 — Chaos-campaign throughput and efficacy.
+//!
+//! Two campaigns over composite fault configurations sampled across
+//! every fault plane (see `tracelens-chaos`):
+//!
+//! * **clean** — the pipeline as shipped: every oracle must pass on
+//!   every sampled configuration, and the campaign's wall clock gives
+//!   the configs-per-second throughput of the harness itself,
+//! * **injected** — the same campaign with a planted accounting bug
+//!   (`--inject-known-bug` in the CLI): the campaign must detect it,
+//!   and the minimizer must shrink the failing configuration to its
+//!   essential planes.
+//!
+//! The table reports per-run oracle evidence; the JSON artifact lands
+//! in `BENCH_chaos.json` (override with `TRACELENS_BENCH_OUT`) with
+//! `clean_violations` (gated at 0) and `injected_violations_found`
+//! (gated at > 0).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use tracelens_bench::{row, rule, BenchArgs};
+use tracelens_chaos::{run_campaign, sample_campaign, CampaignOptions, FaultPlane};
+use tracelens_obs::Telemetry;
+
+/// Configurations sampled by the clean campaign.
+const RUNS: usize = 40;
+
+/// Default JSON artifact path (repo root when run via `cargo run`).
+const DEFAULT_OUT: &str = "BENCH_chaos.json";
+
+fn main() {
+    let args = BenchArgs::parse();
+    // Positional `traces` sets the per-configuration corpus size here;
+    // the paper-scale default is far more than a fault campaign needs.
+    let traces = args.traces.clamp(4, 32).min(12);
+    let seed = args.seed;
+    let (telemetry, sink) = args.telemetry_handle();
+
+    eprintln!("running clean campaign: {RUNS} configs, {traces} traces each (seed {seed})...");
+    let opts = CampaignOptions {
+        seed,
+        runs: RUNS,
+        traces,
+        ..CampaignOptions::default()
+    };
+    let t0 = Instant::now();
+    let report = run_campaign(&opts, &telemetry);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let runs_per_s = RUNS as f64 / wall_s;
+    eprintln!(
+        "clean campaign: {} oracle checks, {} violations, {wall_s:.2}s ({runs_per_s:.1} configs/s)",
+        report.checks(),
+        report.violations()
+    );
+
+    println!("== R4: chaos campaign, {RUNS} composite fault configs ==\n");
+    let widths = [4, 34, 7, 9, 9];
+    row(&["run", "planes", "checks", "degraded", "verdict"], &widths);
+    rule(&widths);
+    for (i, rec) in report.records.iter().enumerate() {
+        row(
+            &[
+                &i.to_string(),
+                &rec.config.plane_tag(),
+                &rec.checks.to_string(),
+                &rec.degraded.len().to_string(),
+                if rec.violations.is_empty() {
+                    "ok"
+                } else {
+                    "FAIL"
+                },
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!(
+        "oracle checks: {}, violations: {} (gated at 0 in CI)",
+        report.checks(),
+        report.violations()
+    );
+
+    // ---- Efficacy: the same harness must catch a planted accounting
+    // bug and minimize the failing config to its essential planes.
+    let configs = sample_campaign(seed, 64, traces, &FaultPlane::ALL);
+    let first = configs
+        .iter()
+        .position(|c| c.corruption_active() && c.exec_active())
+        .expect("64 sampled configs include a corruption+exec pair");
+    eprintln!(
+        "running injected campaign: planted bug needs corruption+exec (first at run {first})..."
+    );
+    let injected_opts = CampaignOptions {
+        seed,
+        runs: first + 1,
+        traces,
+        inject_known_bug: true,
+        ..CampaignOptions::default()
+    };
+    let injected = run_campaign(&injected_opts, &Telemetry::noop());
+    let found = injected.violations();
+    let minimized = injected.minimized.as_ref();
+    let (minimize_steps, minimized_planes) = minimized
+        .map(|m| (m.steps, m.config.active_planes().len()))
+        .unwrap_or((0, 0));
+    println!(
+        "injected campaign: planted bug {} after {} runs; minimized to {} plane(s) in {} steps",
+        if found > 0 { "detected" } else { "MISSED" },
+        injected.records.len(),
+        minimized_planes,
+        minimize_steps
+    );
+    if let Some(m) = minimized {
+        println!(
+            "minimal repro: {} ({} traces) violating {}",
+            m.config.plane_tag(),
+            m.config.traces,
+            m.oracle
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"chaos\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"runs\": {RUNS},");
+    let _ = writeln!(json, "  \"traces_per_run\": {traces},");
+    let _ = writeln!(json, "  \"wall_s\": {wall_s:.6},");
+    let _ = writeln!(json, "  \"runs_per_s\": {runs_per_s:.3},");
+    let _ = writeln!(json, "  \"oracle_checks\": {},", report.checks());
+    let _ = writeln!(json, "  \"clean_violations\": {},", report.violations());
+    let _ = writeln!(json, "  \"injected_runs\": {},", injected.records.len());
+    let _ = writeln!(json, "  \"injected_violations_found\": {found},");
+    let _ = writeln!(json, "  \"minimize_steps\": {minimize_steps},");
+    let _ = writeln!(json, "  \"minimized_active_planes\": {minimized_planes}");
+    let _ = writeln!(json, "}}");
+    let out = std::env::var("TRACELENS_BENCH_OUT").unwrap_or_else(|_| DEFAULT_OUT.to_owned());
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    args.write_telemetry(sink.as_deref());
+}

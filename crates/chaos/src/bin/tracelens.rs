@@ -20,6 +20,8 @@
 //!                     [-o REPORT.md] [--trace-out TRACE.json] [--overhead-gate PCT]
 //! tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]
 //! tracelens baselines FILE [--top N]
+//! tracelens chaos     [--seed S] [--runs N] [--traces N] [--planes LIST]
+//!                     [--jobs N] [--repro-out FILE] [--replay FILE]
 //! ```
 //!
 //! `FILE` is a data set in the `.tlt` text format
@@ -77,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "self-report" => cmd_self_report(rest),
         "regress" => cmd_regress(rest),
         "baselines" => cmd_baselines(rest),
+        "chaos" => cmd_chaos(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -109,6 +112,8 @@ fn print_usage() {
          \x20                     [-o REPORT.md] [--trace-out TRACE.json] [--overhead-gate PCT]\n\
          \x20 tracelens regress   BASELINE CANDIDATE --scenario NAME [--top N]\n\
          \x20 tracelens baselines FILE [--top N]\n\
+         \x20 tracelens chaos     [--seed S] [--runs N] [--traces N] [--planes LIST]\n\
+         \x20                     [--jobs N] [--repro-out FILE] [--replay FILE]\n\
          \n\
          FILE is a .tlt data set; `-` reads stdin / writes stdout.\n\
          Commands reading FILE also accept --sanitize (repair/quarantine\n\
@@ -133,7 +138,15 @@ fn print_usage() {
          bounded input slice (--degrade), and every decision lands in the\n\
          report. --mem-faults `seed=S,rate=R,factor=F` inflates cost\n\
          estimates to stage overload for testing. File ingestion retries\n\
-         transient i/o errors with bounded exponential backoff."
+         transient i/o errors with bounded exponential backoff.\n\
+         `chaos` runs a deterministic fault-injection campaign: --runs\n\
+         composite fault configurations sampled from --seed over --planes\n\
+         (any of corruption,read,exec,mem,checkpoint,cache — default all)\n\
+         each run through the full pipeline and checked against the\n\
+         cross-cutting invariant oracles. Violations are minimized to a\n\
+         replayable repro written to --repro-out (default\n\
+         chaos-repro.toml); --replay FILE re-runs one repro config.\n\
+         Campaign output is byte-identical at every --jobs setting."
     );
 }
 
@@ -892,6 +905,77 @@ fn cmd_baselines(args: &[String]) -> Result<(), String> {
     println!("--- costly callstacks (StackMine-style, top {top}) ---");
     println!("{}", CostlyStackReport::build(&ds).render(&ds, top));
     Ok(())
+}
+
+/// `tracelens chaos` — deterministic fault-injection campaigns over
+/// the full pipeline (see [`tracelens_chaos`]). Exits nonzero when any
+/// invariant oracle is violated, after writing a minimized replayable
+/// repro. `--inject-known-bug` (hidden from usage) arms a deliberate
+/// accounting bug so the detection-and-minimization path itself can be
+/// exercised end to end.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    use tracelens_chaos::{repro, run_campaign, run_config, CampaignOptions, FaultPlane};
+    let opts = Opts::parse(
+        args,
+        &[
+            "seed",
+            "runs",
+            "traces",
+            "planes",
+            "jobs",
+            "repro-out",
+            "replay",
+        ],
+    )?;
+
+    if let Some(path) = opts.value("replay") {
+        let cfg = repro::read_repro(Path::new(path))?;
+        eprintln!("replaying {path}: planes {}", cfg.plane_tag());
+        let artifacts = run_config(&cfg, opts.has("inject-known-bug"));
+        let violations = tracelens_chaos::check_all(0, &artifacts);
+        for note in &artifacts.degraded {
+            println!("degraded: {note}");
+        }
+        return if violations.is_empty() {
+            println!("replay {}: ok", cfg.plane_tag());
+            Ok(())
+        } else {
+            for v in &violations {
+                println!("replay VIOLATION {}: {}", v.oracle, v.detail);
+            }
+            Err(format!(
+                "replay reproduced {} violation(s)",
+                violations.len()
+            ))
+        };
+    }
+
+    let options = CampaignOptions {
+        seed: opts.parsed("seed", 0u64)?,
+        runs: opts.parsed("runs", 25usize)?,
+        traces: opts.parsed("traces", 12usize)?,
+        planes: match opts.value("planes") {
+            None => FaultPlane::ALL.to_vec(),
+            Some(list) => FaultPlane::parse_list(list)?,
+        },
+        jobs: opts.parsed("jobs", 0usize)?,
+        inject_known_bug: opts.has("inject-known-bug"),
+        ..CampaignOptions::default()
+    };
+    let report = run_campaign(&options, &Telemetry::noop());
+    print!("{}", report.render());
+    if let Some(minimized) = &report.minimized {
+        let out = PathBuf::from(opts.value("repro-out").unwrap_or("chaos-repro.toml"));
+        repro::write_repro(&out, minimized).map_err(|e| format!("{}: {e}", out.display()))?;
+        eprintln!("minimized repro written to {}", out.display());
+    }
+    match report.violations() {
+        0 => Ok(()),
+        n => Err(format!(
+            "{n} oracle violation(s) across {} runs",
+            options.runs
+        )),
+    }
 }
 
 #[cfg(test)]

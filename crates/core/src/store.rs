@@ -27,7 +27,7 @@
 
 use std::fmt;
 use std::fs::File;
-use std::io::Read;
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 use tracelens_model::textio::{ReadError, RetryPolicy, RetryingReader};
 use tracelens_model::{binio, Dataset, HeapSize};
@@ -96,6 +96,10 @@ pub struct IngestReport {
     pub cache_fallback: Option<CacheFallback>,
     /// Whether a fresh `.tlb` cache was written after a text parse.
     pub cache_written: bool,
+    /// Whether a corrupt `.tlb` cache was preserved as
+    /// `<name>.tlb.quarantined` for post-mortem instead of being
+    /// silently repacked over.
+    pub cache_quarantined: bool,
     /// [`HeapSize`] estimate of the resulting data set — the number the
     /// governance admission controller budgets against.
     pub dataset_heap_bytes: usize,
@@ -110,6 +114,7 @@ impl IngestReport {
             io_retries: 0,
             cache_fallback: None,
             cache_written: false,
+            cache_quarantined: false,
             dataset_heap_bytes: ds.heap_size(),
         }
     }
@@ -185,6 +190,115 @@ pub fn ingest_reader<R: Read>(
     Ok((ds, report))
 }
 
+/// Sharded-parallel ingest with the retry plane on *every* read: the
+/// planning pass reads the input once through a [`RetryingReader`],
+/// then each shard worker re-opens the source via `open` and re-reads
+/// exactly its own byte range ([`tracelens_model::textio::Shard::byte_range`])
+/// through an independent [`RetryingReader`] under the same policy —
+/// the parallel counterpart of `Dataset::read_text_retrying`, which
+/// only guards the serial path.
+///
+/// The result is byte-identical (via `write_text`) to the serial parse
+/// at every job count, and per-shard retry counts sum into
+/// [`IngestReport::io_retries`] deterministically: each shard's read
+/// schedule depends only on its byte range, not on worker scheduling.
+/// Any shard irregularity — non-canonical layout, exhausted retries, a
+/// source that yields different bytes on re-read — falls back to the
+/// serial parse of the planning pass's bytes, so success and failure
+/// modes match the serial parser's.
+///
+/// # Errors
+///
+/// I/O errors from the planning read and parse errors, both as
+/// [`ReadError`].
+pub fn ingest_reader_sharded<R, F>(
+    open: F,
+    policy: RetryPolicy,
+    pool: &Pool,
+    telemetry: &Telemetry,
+) -> Result<(Dataset, IngestReport), ReadError>
+where
+    R: Read,
+    F: Fn() -> io::Result<R> + Sync,
+{
+    let _span = telemetry.span(stage::INGEST);
+    let mut reader = RetryingReader::new(open().map_err(ReadError::Io)?, policy);
+    let mut text = Vec::new();
+    reader.read_to_end(&mut text).map_err(ReadError::Io)?;
+    let plan_retries = reader.retries();
+    telemetry.count("ingest.bytes", text.len() as u64);
+
+    let serial = |text: &[u8]| -> Result<(Dataset, IngestReport), ReadError> {
+        let ds = Dataset::read_text_bytes(text)?;
+        telemetry.count("ingest.events", ds.total_events() as u64);
+        let mut report = IngestReport::new(IngestSource::TextSerial, text.len(), &ds);
+        report.io_retries = plan_retries;
+        Ok((ds, report))
+    };
+
+    if !pool.is_parallel() {
+        return serial(&text);
+    }
+    let Ok(plan) = Dataset::plan_text_shards(&text) else {
+        return serial(&text);
+    };
+    if plan.shards().len() < 2 {
+        return serial(&text);
+    }
+    telemetry.count("ingest.shards", plan.shards().len() as u64);
+
+    let outputs = pool.map(plan.shards(), |_, shard| {
+        let source = open().map_err(|_| ())?;
+        let mut reader = RetryingReader::new(source, policy);
+        let range = shard.byte_range();
+        skip_exact(&mut reader, range.start).map_err(|_| ())?;
+        let mut buf = vec![0u8; range.len()];
+        reader.read_exact(&mut buf).map_err(|_| ())?;
+        let out = plan.parse_shard_bytes(shard, &buf).map_err(|_| ())?;
+        Ok::<_, ()>((out, reader.retries()))
+    });
+    let mut parsed = Vec::with_capacity(outputs.len());
+    let mut shard_retries = 0usize;
+    for out in outputs {
+        match out {
+            Ok((o, retries)) => {
+                shard_retries += retries;
+                parsed.push(o);
+            }
+            Err(()) => return serial(&text),
+        }
+    }
+    match plan.merge(parsed) {
+        Ok(ds) => {
+            telemetry.count("ingest.events", ds.total_events() as u64);
+            let mut report = IngestReport::new(IngestSource::TextParallel, text.len(), &ds);
+            report.io_retries = plan_retries + shard_retries;
+            Ok((ds, report))
+        }
+        Err(_) => serial(&text),
+    }
+}
+
+/// Reads and discards exactly `n` bytes with a fixed chunk size, so the
+/// per-shard read schedule (and therefore any injected-fault pattern)
+/// is deterministic in the shard's byte range alone.
+fn skip_exact<R: Read>(reader: &mut R, mut n: usize) -> io::Result<()> {
+    let mut buf = [0u8; 16 * 1024];
+    while n > 0 {
+        let take = n.min(buf.len());
+        match reader.read(&mut buf[..take])? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short read while seeking to shard",
+                ))
+            }
+            got => n -= got,
+        }
+    }
+    Ok(())
+}
+
 /// Reads a `.tlt` file, optionally through its `.tlb` binary cache.
 ///
 /// With `cache` set, the sibling cache path ([`cache_path_for`]) is
@@ -235,8 +349,26 @@ pub fn ingest_path(
     if fallback.is_some() {
         telemetry.count("ingest.cache_fallbacks", 1);
     }
+    if fallback == Some(CacheFallback::Corrupt) {
+        report.cache_quarantined = quarantine_cache(&cache_path);
+        if report.cache_quarantined {
+            telemetry.count("ingest.cache_quarantined", 1);
+        }
+    }
     report.cache_written = write_cache(&cache_path, &ds, fingerprint);
     Ok((ds, report))
+}
+
+/// Where a corrupt cache is preserved: `corpus.tlb` →
+/// `corpus.tlb.quarantined`.
+pub fn quarantined_cache_path(cache_path: &Path) -> PathBuf {
+    cache_path.with_extension("tlb.quarantined")
+}
+
+/// Moves a corrupt cache aside for post-mortem instead of repacking
+/// over it (best-effort; replaces any earlier quarantined copy).
+fn quarantine_cache(cache_path: &Path) -> bool {
+    std::fs::rename(cache_path, quarantined_cache_path(cache_path)).is_ok()
 }
 
 /// The cache path for a text data set: the same path with a `.tlb`
@@ -359,16 +491,49 @@ mod tests {
         assert_eq!(r3.cache_fallback, Some(CacheFallback::Stale));
         assert!(r3.cache_written);
 
-        // Corrupt cache: truncate it; fallback still yields the data.
+        // Corrupt cache: truncate it; fallback still yields the data,
+        // and the corrupt file is preserved for post-mortem rather
+        // than silently repacked over.
         let cache = cache_path_for(&path);
         let full = std::fs::read(&cache).unwrap();
-        std::fs::write(&cache, &full[..full.len() / 2]).unwrap();
+        let torn = full[..full.len() / 2].to_vec();
+        std::fs::write(&cache, &torn).unwrap();
         let (fourth, r4) = ingest_path(&path, true, &pool, &tm).unwrap();
         assert_eq!(r4.cache_fallback, Some(CacheFallback::Corrupt));
+        assert!(r4.cache_quarantined);
+        assert!(r4.cache_written);
+        let preserved = quarantined_cache_path(&cache);
+        assert_eq!(std::fs::read(&preserved).unwrap(), torn);
         let (fifth, _) = ingest_path(&path, false, &pool, &tm).unwrap();
         assert_eq!(text_of(&fourth), text_of(&fifth));
 
+        // Second load after quarantine: clean cache hit, quarantined
+        // copy untouched.
+        let (sixth, r6) = ingest_path(&path, true, &pool, &tm).unwrap();
+        assert_eq!(r6.source, IngestSource::BinaryCache);
+        assert_eq!(r6.cache_fallback, None);
+        assert!(!r6.cache_quarantined);
+        assert_eq!(text_of(&fourth), text_of(&sixth));
+        assert_eq!(std::fs::read(&preserved).unwrap(), torn);
+
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_retrying_ingest_matches_serial() {
+        let text = corpus(10);
+        let serial = Dataset::read_text_bytes(&text).unwrap();
+        for jobs in [1, 2, 8] {
+            let (ds, report) = ingest_reader_sharded(
+                || Ok(&text[..]),
+                RetryPolicy::default(),
+                &Pool::new(jobs),
+                &Telemetry::noop(),
+            )
+            .unwrap();
+            assert_eq!(text_of(&ds), text_of(&serial), "jobs={jobs}");
+            assert_eq!(report.io_retries, 0);
+        }
     }
 
     #[test]

@@ -19,8 +19,14 @@
 //! assert!(matches!(a, None | Some(ExecFault::Panic)));
 //! ```
 
-use std::fmt;
+use crate::spec::{parse_field, parse_rate, FaultSpec};
 use std::time::Duration;
+
+/// Why an `--exec-faults` spec failed to parse.
+///
+/// Historical name for the shared [`FaultSpecError`](crate::FaultSpecError):
+/// all fault-plan parsers now report through the same type.
+pub type ExecFaultParseError = crate::FaultSpecError;
 
 /// What an execution fault does to the unit it fires in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,11 +145,8 @@ impl ExecFaultPlan {
     /// ```
     pub fn parse(spec: &str) -> Result<ExecFaultPlan, ExecFaultParseError> {
         let mut plan = ExecFaultPlan::new(0);
-        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| ExecFaultParseError::not_a_pair(part))?;
-            let (key, value) = (key.trim(), value.trim());
+        for (key, value) in FaultSpec::parse(spec, &["seed", "panic", "slow", "slow-ms"])?.entries()
+        {
             match key {
                 "seed" => plan.seed = parse_field(key, value)?,
                 "panic" => plan = plan.with_panic_rate(parse_rate(key, value)?),
@@ -151,58 +154,11 @@ impl ExecFaultPlan {
                 "slow-ms" => {
                     plan = plan.with_slow_for(Duration::from_millis(parse_field(key, value)?))
                 }
-                other => return Err(ExecFaultParseError::unknown_key(other)),
+                _ => unreachable!("FaultSpec vocabulary"),
             }
         }
         Ok(plan)
     }
-}
-
-/// Why an `--exec-faults` spec failed to parse.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExecFaultParseError(String);
-
-impl ExecFaultParseError {
-    pub(crate) fn not_a_pair(part: &str) -> ExecFaultParseError {
-        ExecFaultParseError(format!("`{}` is not a key=value pair", part.trim()))
-    }
-
-    fn unknown_key(key: &str) -> ExecFaultParseError {
-        ExecFaultParseError(format!(
-            "unknown key `{key}` (expected seed, panic, slow, slow-ms)"
-        ))
-    }
-
-    pub(crate) fn message(text: impl Into<String>) -> ExecFaultParseError {
-        ExecFaultParseError(text.into())
-    }
-}
-
-impl fmt::Display for ExecFaultParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid exec-fault spec: {}", self.0)
-    }
-}
-
-impl std::error::Error for ExecFaultParseError {}
-
-pub(crate) fn parse_field<T: std::str::FromStr>(
-    key: &str,
-    value: &str,
-) -> Result<T, ExecFaultParseError> {
-    value
-        .parse()
-        .map_err(|_| ExecFaultParseError(format!("`{value}` is not a valid value for `{key}`")))
-}
-
-pub(crate) fn parse_rate(key: &str, value: &str) -> Result<f64, ExecFaultParseError> {
-    let rate: f64 = parse_field(key, value)?;
-    if !(0.0..=1.0).contains(&rate) {
-        return Err(ExecFaultParseError(format!(
-            "`{key}` must be in [0, 1], got {value}"
-        )));
-    }
-    Ok(rate)
 }
 
 /// Uniform draw in `[0, 1)` from `(seed, stage, unit)`: FNV-1a over the

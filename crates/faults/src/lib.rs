@@ -31,10 +31,12 @@
 mod exec;
 mod pressure;
 mod readfault;
+mod spec;
 
 pub use exec::{ExecFault, ExecFaultParseError, ExecFaultPlan};
 pub use pressure::MemFaultPlan;
 pub use readfault::{FlakyReader, ReadFaultPlan};
+pub use spec::{parse_field, parse_rate, FaultSpec, FaultSpecError};
 
 use std::collections::BTreeMap;
 use tracelens_model::{

@@ -20,7 +20,8 @@
 //! assert!(a == 1_000 || a == 64_000);
 //! ```
 
-use crate::exec::{parse_field, parse_rate, unit_draw};
+use crate::exec::unit_draw;
+use crate::spec::{parse_field, parse_rate, FaultSpec};
 use crate::ExecFaultParseError;
 use std::fmt;
 
@@ -90,20 +91,12 @@ impl MemFaultPlan {
     /// ```
     pub fn parse(spec: &str) -> Result<MemFaultPlan, ExecFaultParseError> {
         let mut plan = MemFaultPlan::new(0);
-        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| ExecFaultParseError::not_a_pair(part))?;
-            let (key, value) = (key.trim(), value.trim());
+        for (key, value) in FaultSpec::parse(spec, &["seed", "rate", "factor"])?.entries() {
             match key {
                 "seed" => plan.seed = parse_field(key, value)?,
                 "rate" => plan = plan.with_rate(parse_rate(key, value)?),
                 "factor" => plan = plan.with_factor(parse_field(key, value)?),
-                other => {
-                    return Err(ExecFaultParseError::message(format!(
-                        "unknown key `{other}` (expected seed, rate, factor)"
-                    )))
-                }
+                _ => unreachable!("FaultSpec vocabulary"),
             }
         }
         Ok(plan)

@@ -249,6 +249,7 @@ impl Dataset {
             };
             shards.push(Shard {
                 bytes: &bytes[start..end],
+                start,
                 first_line,
                 next_trace_line,
             });
@@ -569,6 +570,8 @@ pub struct ShardPlan<'a> {
 #[derive(Debug, Clone, Copy)]
 pub struct Shard<'a> {
     bytes: &'a [u8],
+    /// Absolute byte offset of the shard within the planned input.
+    start: usize,
     /// 1-based line number of the shard's `!trace` line.
     first_line: usize,
     /// Line number of the *next* shard's `!trace` line, 0 for the last
@@ -587,6 +590,14 @@ impl Shard<'_> {
     /// shards, which always start with a `!trace` line).
     pub fn is_empty(&self) -> bool {
         self.bytes.is_empty()
+    }
+
+    /// Absolute byte range `[start, end)` of this shard within the
+    /// planned input — lets a transport layer re-read exactly this
+    /// slice through its own (retrying) reader and hand the result to
+    /// [`ShardPlan::parse_shard_bytes`].
+    pub fn byte_range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.bytes.len()
     }
 }
 
@@ -661,10 +672,27 @@ impl<'a> ShardPlan<'a> {
     /// traces (fall back to [`Dataset::read_text_bytes`]);
     /// [`ShardError::Parse`] for malformed records.
     pub fn parse_shard(&self, shard: &Shard<'a>) -> Result<ShardOutput, ShardError> {
+        self.parse_shard_bytes(shard, shard.bytes)
+    }
+
+    /// Parses `bytes` as the content of `shard` — byte-for-byte the
+    /// slice [`Shard::byte_range`] addresses, typically re-read from
+    /// the source by a transport layer that routes per-shard reads
+    /// through its own retry policy. Error line numbers are attributed
+    /// exactly as [`ShardPlan::parse_shard`] attributes them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardPlan::parse_shard`].
+    pub fn parse_shard_bytes(
+        &self,
+        shard: &Shard<'_>,
+        bytes: &[u8],
+    ) -> Result<ShardOutput, ShardError> {
         let mut f: [&[u8]; MAX_FIELDS] = [b""; MAX_FIELDS];
         let mut builder: Option<TraceStreamBuilder> = None;
         let mut instances = Vec::new();
-        for (idx, raw) in shard.bytes.split(|&b| b == b'\n').enumerate() {
+        for (idx, raw) in bytes.split(|&b| b == b'\n').enumerate() {
             let lineno = shard.first_line + idx;
             let line = trim_line(raw);
             if line.is_empty() || line[0] == b'#' {

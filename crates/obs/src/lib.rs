@@ -110,6 +110,11 @@ pub mod stage {
     /// or binary-cache load, plus cache writes. Not part of
     /// [`PIPELINE`]: it only runs when loading external data sets.
     pub const INGEST: &str = "ingest";
+    /// Chaos campaign execution (`tracelens-chaos`): composed
+    /// fault-plane runs, invariant-oracle checks, and failure
+    /// minimization. Not part of [`PIPELINE`]: chaos wraps whole
+    /// studies.
+    pub const CHAOS: &str = "chaos";
 
     /// The pipeline stages every full analysis run reports, in order.
     pub const PIPELINE: &[&str] = &[
@@ -130,6 +135,7 @@ mod tests {
         names.push(stage::POOL);
         names.push(stage::SUPERVISE);
         names.push(stage::CHECKPOINT);
+        names.push(stage::CHAOS);
         let n = names.len();
         names.sort_unstable();
         names.dedup();

@@ -170,6 +170,51 @@ fn version_skewed_cache_is_stale_not_fatal() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn flaky_sharded_ingest_matches_serial_at_every_job_count() {
+    // Differential test for the per-shard retry plane: a transport that
+    // fails transiently on a deterministic schedule must yield the
+    // exact serial parse at every job count, with every worker's
+    // retries absorbed and accounted, never dropped bytes.
+    let ds = DatasetBuilder::new(2026)
+        .traces(24)
+        .mix(ScenarioMix::Selected)
+        .build();
+    let text = text_of(&ds);
+    let serial = Dataset::read_text_bytes(&text).expect("clean corpus");
+    let serial_bytes = text_of(&serial);
+    let telemetry = Telemetry::noop();
+    let plan = ReadFaultPlan::new(77).with_rate(0.2);
+    let mut retries_seen = Vec::new();
+    for jobs in [1, 2, 8] {
+        let pool = Pool::new(jobs);
+        let (parsed, report) = tracelens::store::ingest_reader_sharded(
+            || Ok(FlakyReader::new(&text[..], plan)),
+            RetryPolicy::default(),
+            &pool,
+            &telemetry,
+        )
+        .expect("retries absorb the fault schedule");
+        assert_eq!(
+            text_of(&parsed),
+            serial_bytes,
+            "jobs={jobs}: flaky ingest diverged from serial"
+        );
+        assert!(
+            report.io_retries > 0,
+            "jobs={jobs}: the fault schedule must actually fire"
+        );
+        retries_seen.push(report.io_retries);
+    }
+    // The planning pass reads the whole input through one retrying
+    // reader, so its retry count is a shared floor; per-shard re-reads
+    // add worker retries deterministically per job count.
+    assert_eq!(
+        retries_seen[1], retries_seen[2],
+        "parallel retry accounting must not depend on worker count"
+    );
+}
+
 mod prop {
     use super::*;
     use proptest::prelude::*;

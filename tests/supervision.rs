@@ -315,5 +315,66 @@ mod prop {
                 "torn units must be restored-if-whole or recomputed, never half-trusted"
             );
         }
+
+        /// Checkpoint × sanitize: a corrupt corpus (quarantined streams
+        /// and all) run exec-faulted with a checkpoint, then resumed
+        /// faults-off, renders byte-identically to a fresh, never-
+        /// faulted sanitized run — at every job count.
+        #[test]
+        fn sanitized_checkpoint_resume_matches_a_fresh_clean_run(
+            seed in 800u64..1100,
+            traces in 4usize..10,
+            panic_pct in 10u32..60,
+        ) {
+            let clean = dataset(seed, traces);
+            let (corrupt, _log) = FaultInjector::new(seed ^ 0xC0FFEE)
+                .with_all(0.03)
+                .inject(&clean);
+            let names = names_of(&clean);
+
+            // The reference: a fresh sanitized run that never faulted.
+            let fresh_md = match Study::run_sanitized_supervised(
+                &corrupt,
+                &StudyConfig::default(),
+                &names,
+            ) {
+                Ok((study, _)) => render(&study, &corrupt),
+                // Everything quarantined: a legal degraded outcome with
+                // nothing left to checkpoint or resume.
+                Err(_) => return Ok(()),
+            };
+
+            let plan = ExecFaultPlan::new(seed ^ 0x5EED)
+                .with_panic_rate(panic_pct as f64 / 100.0);
+            for jobs in [1usize, 2, 8] {
+                let dir = scratch_dir(
+                    &format!("san-ckpt-{seed}-{traces}-{panic_pct}-{jobs}"),
+                );
+                let faulted_cfg = StudyConfig {
+                    jobs,
+                    exec_faults: Some(plan),
+                    checkpoint: Some(dir.clone()),
+                    ..StudyConfig::default()
+                };
+                Study::run_sanitized_supervised(&corrupt, &faulted_cfg, &names)
+                    .expect("faulted sanitized checkpointed run");
+                let resume_cfg = StudyConfig {
+                    jobs,
+                    checkpoint: Some(dir.clone()),
+                    ..StudyConfig::default()
+                };
+                let (resumed, _) =
+                    Study::run_sanitized_supervised(&corrupt, &resume_cfg, &names)
+                        .expect("sanitized resume");
+                let _ = std::fs::remove_dir_all(&dir);
+                prop_assert!(resumed.execution.is_clean());
+                prop_assert_eq!(
+                    &fresh_md,
+                    &render(&resumed, &corrupt),
+                    "sanitized resume diverged from the fresh clean run at jobs={}",
+                    jobs
+                );
+            }
+        }
     }
 }
